@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark renders its paper-vs-measured table, prints it (visible
+with ``pytest benchmarks/ --benchmark-only -s``) and writes it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote real
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Sequence
+
+from repro.analysis import render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(experiment: str, title: str, rows: Sequence[dict[str, Any]], columns: Sequence[str]) -> str:
+    """Render, print, and persist one experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    table = render_table(rows, columns)
+    text = f"{title}\n{'=' * len(title)}\n{table}\n"
+    print("\n" + text)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+    return text

@@ -1,0 +1,80 @@
+"""Sublinear vs. Heterogeneous MPC — the paper's headline comparison.
+
+Runs connectivity, MST, and maximal matching on the same inputs in both
+regimes and prints the measured round counts side by side: one near-linear
+machine collapses the Ω(log)-type round counts of the sublinear regime.
+
+Run:  python examples/regime_comparison.py
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.baselines import (
+    sublinear_boruvka_mst,
+    sublinear_connectivity,
+    sublinear_matching,
+)
+from repro.core import (
+    heterogeneous_connectivity,
+    heterogeneous_matching,
+    heterogeneous_mst,
+    solve_one_vs_two_cycles,
+)
+from repro.graph import generators
+
+
+def main() -> None:
+    rng = random.Random(99)
+    n, m = 120, 2400
+    weighted = generators.random_connected_graph(n, m, rng).with_unique_weights(rng)
+    unweighted = weighted.unweighted()
+    cycles, _ = generators.one_or_two_cycles(n, rng)
+
+    rows = []
+
+    sub = sublinear_connectivity(unweighted, rng=random.Random(1))
+    het = heterogeneous_connectivity(unweighted, rng=random.Random(2))
+    rows.append(
+        {"problem": "connectivity", "sublinear_rounds": sub.rounds,
+         "heterogeneous_rounds": het.rounds, "paper": "O(log) -> O(1)"}
+    )
+
+    sub = sublinear_boruvka_mst(weighted, rng=random.Random(3))
+    het = heterogeneous_mst(weighted, rng=random.Random(4))
+    rows.append(
+        {"problem": "MST", "sublinear_rounds": sub.rounds,
+         "heterogeneous_rounds": het.rounds, "paper": "O(log n) -> O(loglog m/n)"}
+    )
+    mst_note = (
+        f"    (MST phase counts — the quantity that scales: "
+        f"sublinear Borůvka iterations={sub.iterations} (~log n), "
+        f"heterogeneous doubly-exponential steps={het.boruvka_steps} "
+        f"(~log log m/n); per-phase constants differ)"
+    )
+
+    sub = sublinear_matching(unweighted, rng=random.Random(5))
+    het = heterogeneous_matching(unweighted, rng=random.Random(6))
+    rows.append(
+        {"problem": "maximal matching", "sublinear_rounds": sub.rounds,
+         "heterogeneous_rounds": het.rounds, "paper": "sqrt(log d loglog d)"}
+    )
+
+    sub = sublinear_connectivity(cycles, rng=random.Random(7))
+    het = solve_one_vs_two_cycles(cycles, rng=random.Random(8))
+    rows.append(
+        {"problem": "1-vs-2 cycles", "sublinear_rounds": sub.rounds,
+         "heterogeneous_rounds": het.rounds, "paper": "conjectured Ω(log n) -> 1"}
+    )
+
+    print(f"n={n}, m={m}: measured simulator rounds per regime\n")
+    print(
+        render_table(
+            rows, ["problem", "sublinear_rounds", "heterogeneous_rounds", "paper"]
+        )
+    )
+    print(mst_note)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Spanners and approximate shortest paths (Section 4 + Corollary 4.2).
+
+Scenario: a road-network-like graph (grid plus random shortcuts).  We build
+O(k)-spanners for several k in O(1) rounds, watch the size/stretch
+trade-off, then build the O(log n)-approximate APSP oracle — the spanner is
+small enough to live on the large machine, which then answers any distance
+query locally.
+
+Run:  python examples/spanner_apsp.py
+"""
+
+import random
+
+from repro.core.spanner import build_apsp_oracle, heterogeneous_spanner
+from repro.graph import Graph, generators
+from repro.graph.traversal import bfs_distances
+from repro.graph.validation import spanner_stretch
+
+
+def road_network(rng: random.Random) -> Graph:
+    """A 10x10 grid with 80 random shortcut edges."""
+    grid = generators.grid_graph(10, 10)
+    edges = set(grid.edge_set())
+    while len(edges) < grid.m + 80:
+        u, v = rng.randrange(100), rng.randrange(100)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(100, sorted(edges))
+
+
+def main() -> None:
+    rng = random.Random(7)
+    graph = road_network(rng)
+    print(f"road network: n={graph.n}, m={graph.m}\n")
+
+    print("k   stretch-bound   size   measured-stretch   rounds")
+    for k in (1, 2, 3):
+        result = heterogeneous_spanner(graph, k=k, rng=random.Random(k))
+        stretch = spanner_stretch(graph, result.edges)
+        print(
+            f"{k}   {result.stretch_bound:>13}   {result.size:>4}   "
+            f"{stretch:>16.2f}   {result.rounds:>6}"
+        )
+
+    oracle = build_apsp_oracle(graph, rng=random.Random(42))
+    print(
+        f"\nAPSP oracle: k={oracle.spanner.k}, spanner size "
+        f"{oracle.spanner.size} (vs m={graph.m}), {oracle.rounds} rounds"
+    )
+    source = 0
+    truth = bfs_distances(graph, source)
+    approx = oracle.distances_from(source)
+    samples = [9, 55, 99]
+    for target in samples:
+        print(
+            f"  dist({source}, {target}): true={truth[target]:.0f}  "
+            f"oracle={approx[target]:.0f}  "
+            f"(bound {oracle.stretch_bound}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

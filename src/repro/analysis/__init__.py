@@ -1,0 +1,13 @@
+"""Analysis helpers: Table 1 theory predictions and sweep harnesses."""
+
+from .tables import Sweep, density_sweep, render_table
+from .theory import TABLE1, Table1Row, predicted_rounds
+
+__all__ = [
+    "Sweep",
+    "density_sweep",
+    "render_table",
+    "TABLE1",
+    "Table1Row",
+    "predicted_rounds",
+]

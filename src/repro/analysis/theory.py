@@ -1,0 +1,100 @@
+"""Closed-form round-complexity predictions — the contents of Table 1.
+
+These functions return the paper's *stated bounds* (up to constants) for
+each problem and regime, so benchmarks can print theory next to measured
+round counts and check growth shapes (ratios across a parameter sweep)
+rather than absolute constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TABLE1", "Table1Row", "predicted_rounds", "log2", "loglog"]
+
+
+def log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+def loglog(x: float) -> float:
+    return max(1.0, math.log2(max(math.log2(max(x, 2.0)), 2.0)))
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: a problem and its three bounds (as printable
+    strings) plus which regime-bound is a *new* result of the paper."""
+
+    problem: str
+    sublinear: str
+    heterogeneous: str
+    near_linear: str
+    new_in_paper: bool = False
+
+
+TABLE1: list[Table1Row] = [
+    Table1Row("Connectivity", "O(log D + log log n)", "O(1)", "O(1)"),
+    Table1Row("MST", "O(log n)", "O(log log(m/n))", "O(1)", new_in_paper=True),
+    Table1Row("(1+eps)-approx MST", "—", "O(1)", "O(1)"),
+    Table1Row(
+        "O(k)-spanner of size O(n^{1+1/k})", "O(log k)", "O(1)", "O(1)",
+        new_in_paper=True,
+    ),
+    Table1Row("Exact unweighted min-cut", "O(polylog n)", "O(1)", "O(1)"),
+    Table1Row("Approx weighted min-cut", "O(log n log log n)", "O(1)", "O(1)"),
+    Table1Row("(Δ+1) vertex coloring", "O(log log log n)", "O(1)", "O(1)"),
+    Table1Row(
+        "Maximal independent set",
+        "O(sqrt(log Δ) log log Δ)",
+        "O(log log Δ)",
+        "O(log log Δ)",
+    ),
+    Table1Row(
+        "Maximal matching",
+        "O(sqrt(log Δ) log log Δ)",
+        "O(sqrt(log(m/n) log log(m/n)))",
+        "O(log log Δ)",
+        new_in_paper=True,
+    ),
+]
+
+
+def predicted_rounds(problem: str, regime: str, **params) -> float:
+    """The growth function (no constants) of the stated bound.
+
+    Args:
+        problem: one of ``mst``, ``matching``, ``connectivity``,
+            ``spanner``, ``mis``, ``coloring``, ``mincut``, ``mst_approx``,
+            ``cycle``.
+        regime: ``sublinear`` or ``heterogeneous``.
+        params: ``n``, ``m``, ``max_degree``, ``f`` as relevant.
+    """
+    n = params.get("n", 2)
+    m = params.get("m", n)
+    delta = params.get("max_degree", max(2, 2 * m // max(n, 1)))
+    ratio = max(m / max(n, 1), 2.0)
+
+    key = (problem, regime)
+    if key == ("mst", "sublinear"):
+        return log2(n)
+    if key == ("mst", "heterogeneous"):
+        f = params.get("f")
+        if f:
+            return max(1.0, math.log2(max(math.log(ratio, n) / f, 2.0)))
+        return loglog(ratio)
+    if key == ("matching", "sublinear"):
+        return math.sqrt(log2(delta)) * max(1.0, math.log2(log2(delta)))
+    if key == ("matching", "heterogeneous"):
+        f = params.get("f")
+        if f:
+            return 1.0 / f
+        return math.sqrt(log2(ratio) * max(1.0, math.log2(log2(ratio))))
+    if key == ("connectivity", "sublinear") or key == ("cycle", "sublinear"):
+        return log2(n)
+    if key == ("mis", "heterogeneous"):
+        return loglog(delta)
+    if regime == "heterogeneous":
+        return 1.0  # connectivity, spanner, coloring, min-cut, approx MST
+    raise ValueError(f"no prediction for {key}")

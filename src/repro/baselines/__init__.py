@@ -1,0 +1,15 @@
+"""Sublinear-regime baselines (the left column of Table 1)."""
+
+from .sublinear import (
+    SublinearResult,
+    sublinear_boruvka_mst,
+    sublinear_connectivity,
+    sublinear_matching,
+)
+
+__all__ = [
+    "SublinearResult",
+    "sublinear_boruvka_mst",
+    "sublinear_connectivity",
+    "sublinear_matching",
+]

@@ -1,0 +1,216 @@
+"""Command-line interface: run any of the paper's algorithms on generated
+workloads and print what the simulator measured.
+
+Examples::
+
+    python -m repro mst --n 200 --m 3200 --seed 7
+    python -m repro mst --n 200 --m 3200 --f 0.5       # Theorem 3.1
+    python -m repro spanner --n 100 --m 1500 --k 3
+    python -m repro matching --n 120 --m 2400
+    python -m repro connectivity --n 100 --m 300 --components 4
+    python -m repro mis --n 100 --m 800
+    python -m repro coloring --n 100 --m 800
+    python -m repro mincut --n 40 --cut 3
+    python -m repro cycle --n 64
+    python -m repro compare --n 96 --m 1500             # regime table
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .analysis import render_table
+from .baselines import sublinear_boruvka_mst, sublinear_connectivity
+from .core import (
+    approximate_weighted_mincut,
+    build_apsp_oracle,
+    exact_unweighted_mincut,
+    filtering_matching,
+    heterogeneous_coloring,
+    heterogeneous_connectivity,
+    heterogeneous_matching,
+    heterogeneous_mis,
+    heterogeneous_mst,
+    heterogeneous_spanner,
+    solve_one_vs_two_cycles,
+)
+from .graph import generators
+from .graph.validation import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    spanner_stretch,
+    verify_mst,
+)
+from .local.mincut import min_cut_value
+from .mpc import ModelConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous MPC (PODC 2022) — algorithm runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, default_m: int | None = None) -> None:
+        p.add_argument("--n", type=int, default=100, help="number of vertices")
+        if default_m is not None:
+            p.add_argument("--m", type=int, default=default_m, help="number of edges")
+        p.add_argument("--seed", type=int, default=0, help="random seed")
+        p.add_argument("--gamma", type=float, default=0.5, help="small-machine exponent")
+
+    p = sub.add_parser("mst", help="Section 3 MST")
+    common(p, default_m=1600)
+    p.add_argument("--f", type=float, default=None, help="superlinear memory exponent (Thm 3.1)")
+
+    p = sub.add_parser("spanner", help="Section 4 O(k)-spanner")
+    common(p, default_m=1500)
+    p.add_argument("--k", type=int, default=2, help="stretch parameter")
+    p.add_argument("--weighted", action="store_true")
+
+    p = sub.add_parser("apsp", help="Corollary 4.2 approximate APSP")
+    common(p, default_m=600)
+
+    p = sub.add_parser("matching", help="Section 5 maximal matching")
+    common(p, default_m=1600)
+    p.add_argument("--f", type=float, default=None, help="use Thm 5.5 filtering with n^{1+f} memory")
+
+    p = sub.add_parser("connectivity", help="Theorem C.1 connectivity")
+    common(p, default_m=300)
+    p.add_argument("--components", type=int, default=3)
+
+    p = sub.add_parser("mis", help="Theorem C.6 MIS")
+    common(p, default_m=800)
+
+    p = sub.add_parser("coloring", help="Theorem C.7 (Δ+1)-coloring")
+    common(p, default_m=800)
+
+    p = sub.add_parser("mincut", help="Theorems C.3/C.4 min-cut")
+    common(p)
+    p.add_argument("--cut", type=int, default=3, help="planted cut size")
+
+    p = sub.add_parser("cycle", help="the 1-vs-2 cycle problem")
+    common(p)
+
+    p = sub.add_parser("compare", help="sublinear vs heterogeneous table")
+    common(p, default_m=1500)
+    return parser
+
+
+def _config(args, m: int) -> ModelConfig:
+    f = getattr(args, "f", None)
+    if f:
+        return ModelConfig.heterogeneous_superlinear(
+            n=args.n, m=m, f=f, gamma=args.gamma
+        )
+    return ModelConfig.heterogeneous(n=args.n, m=m, gamma=args.gamma)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rng = random.Random(args.seed)
+    out = sys.stdout
+
+    if args.command == "mst":
+        graph = generators.random_connected_graph(args.n, args.m, rng)
+        graph = graph.with_unique_weights(rng)
+        result = heterogeneous_mst(graph, config=_config(args, args.m), rng=rng)
+        print(f"MST weight {result.total_weight}, "
+              f"verified={verify_mst(graph, result.edges)}", file=out)
+        print(f"boruvka steps {result.boruvka_steps}, rounds {result.rounds}", file=out)
+
+    elif args.command == "spanner":
+        graph = generators.random_connected_graph(args.n, args.m, rng)
+        if args.weighted:
+            graph = graph.with_unique_weights(rng)
+        result = heterogeneous_spanner(graph, k=args.k, rng=rng)
+        stretch = spanner_stretch(graph, result.edges)
+        print(f"spanner size {result.size} (m={graph.m}), "
+              f"stretch {stretch:.2f} <= {result.stretch_bound}, "
+              f"rounds {result.rounds}", file=out)
+
+    elif args.command == "apsp":
+        graph = generators.random_connected_graph(args.n, args.m, rng)
+        oracle = build_apsp_oracle(graph, rng=rng)
+        print(f"APSP oracle: k={oracle.spanner.k}, "
+              f"spanner size {oracle.spanner.size}, "
+              f"stretch bound {oracle.stretch_bound}, "
+              f"rounds {oracle.rounds}", file=out)
+
+    elif args.command == "matching":
+        graph = generators.random_connected_graph(args.n, args.m, rng)
+        if getattr(args, "f", None):
+            result = filtering_matching(graph, config=_config(args, args.m), rng=rng)
+            print(f"filtering levels {result.levels}", file=out)
+        else:
+            result = heterogeneous_matching(graph, rng=rng)
+            print(f"phase-1 iterations {result.phase1_iterations}", file=out)
+        print(f"matching size {result.size}, "
+              f"maximal={is_maximal_matching(graph, result.matching)}, "
+              f"rounds {result.rounds}", file=out)
+
+    elif args.command == "connectivity":
+        graph = generators.planted_components_graph(
+            args.n, args.components, args.m, rng
+        )
+        result = heterogeneous_connectivity(graph, rng=rng)
+        print(f"components {result.num_components} "
+              f"(planted {args.components}), rounds {result.rounds}", file=out)
+
+    elif args.command == "mis":
+        graph = generators.random_connected_graph(args.n, args.m, rng)
+        result = heterogeneous_mis(graph, rng=rng)
+        print(f"MIS size {result.size}, "
+              f"maximal={is_maximal_independent_set(graph, result.vertices)}, "
+              f"iterations {result.iterations}, rounds {result.rounds}", file=out)
+
+    elif args.command == "coloring":
+        graph = generators.random_connected_graph(args.n, args.m, rng)
+        result = heterogeneous_coloring(graph, rng=rng)
+        print(f"colors used {len(set(result.colors))} / "
+              f"allowed {result.num_colors_allowed}, "
+              f"proper={is_proper_coloring(graph, result.colors, result.num_colors_allowed)}, "
+              f"rounds {result.rounds}", file=out)
+
+    elif args.command == "mincut":
+        graph = generators.planted_cut_graph(args.n, args.cut, 4.0, rng)
+        truth = min_cut_value(graph.n, graph.edges)
+        exact = exact_unweighted_mincut(graph, rng=rng)
+        weighted = graph.with_unique_weights(rng)
+        wtruth = min_cut_value(weighted.n, weighted.edges)
+        approx = approximate_weighted_mincut(weighted, rng=rng)
+        print(f"exact cut {exact.value} (true {truth}), rounds {exact.rounds}", file=out)
+        print(f"weighted estimate {approx.value:.0f} (true {wtruth}), "
+              f"rounds {approx.rounds}", file=out)
+
+    elif args.command == "cycle":
+        graph, truth = generators.one_or_two_cycles(args.n, rng)
+        result = solve_one_vs_two_cycles(graph, rng=rng)
+        print(f"cycles {result.num_cycles} (true {truth}), "
+              f"rounds {result.rounds}", file=out)
+
+    elif args.command == "compare":
+        weighted = generators.random_connected_graph(args.n, args.m, rng)
+        weighted = weighted.with_unique_weights(rng)
+        unweighted = weighted.unweighted()
+        rows = []
+        sub = sublinear_connectivity(unweighted, rng=random.Random(args.seed + 1))
+        het = heterogeneous_connectivity(unweighted, rng=random.Random(args.seed + 2))
+        rows.append({"problem": "connectivity", "sublinear": sub.rounds,
+                     "heterogeneous": het.rounds})
+        sub = sublinear_boruvka_mst(weighted, rng=random.Random(args.seed + 3))
+        het = heterogeneous_mst(weighted, rng=random.Random(args.seed + 4))
+        rows.append({"problem": "MST", "sublinear": sub.rounds,
+                     "heterogeneous": het.rounds})
+        print(render_table(rows, ["problem", "sublinear", "heterogeneous"]), file=out)
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

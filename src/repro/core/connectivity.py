@@ -1,0 +1,135 @@
+"""Appendix C.1 — connected components in O(1) rounds (Theorem C.1).
+
+The AGM linear-sketch algorithm: one machine generates the shared seed
+package (``O(polylog n)`` bits — the paper replaces shared randomness with
+``O(log n)``-wise independence) and tree-broadcasts it; every small machine
+builds *partial* vertex sketches from the edges it stores (Property 1:
+linear sketches add); the partial sketches are summed per vertex up the
+aggregation tree of Claim 2 onto the large machine, which runs Borůvka in
+sketch space locally.  Constant rounds end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph
+from ..mpc import Cluster, ModelConfig
+from ..primitives.aggregate import aggregate
+from ..primitives.broadcast import broadcast
+from ..primitives.edgestore import EdgeStore
+from ..sketches import GraphSketchSpec, VertexSketch, sketch_boruvka
+
+__all__ = ["ConnectivityResult", "heterogeneous_connectivity", "sketch_components"]
+
+
+@dataclass
+class ConnectivityResult:
+    """Outcome of a sketch-based connectivity run."""
+
+    labels: list[int]
+    num_components: int
+    rounds: int
+    cluster: Cluster = field(default=None, repr=False)
+
+
+def _merge_sketches(a: VertexSketch, b: VertexSketch) -> VertexSketch:
+    merged = a.copy()
+    merged.merge(b)
+    return merged
+
+
+def sketch_components(
+    cluster: Cluster,
+    store: EdgeStore,
+    n: int,
+    rng: random.Random,
+    copies: int = 3,
+    note: str = "connectivity",
+) -> list[int]:
+    """Run Theorem C.1 on the edges in *store*; returns canonical component
+    labels (smallest vertex of each component) for vertices ``0..n-1``."""
+    spec = GraphSketchSpec.generate(n, rng, copies=copies)
+
+    # One machine generated the seed package; broadcast it (Claim 3 spirit).
+    source = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
+    seed_words = sum(
+        seeds.word_size() for phase in spec.seeds for seeds in phase
+    )
+    broadcast(cluster, source, ("sketch-seeds", seed_words), cluster.small_ids, note=f"{note}/seeds")
+
+    # Each small machine builds partial sketches for the vertices whose
+    # edges it stores (zero rounds: local computation).
+    partials_by_machine: dict[int, list] = {}
+    for machine in cluster.smalls:
+        local: dict[int, VertexSketch] = {}
+        for edge in machine.get(store.name, []):
+            u, v = edge[0], edge[1]
+            for endpoint in (u, v):
+                if endpoint not in local:
+                    local[endpoint] = VertexSketch(spec, endpoint)
+                local[endpoint].add_edge(u, v)
+        partials_by_machine[machine.machine_id] = list(local.items())
+
+    # Sum the partial sketches per vertex up the aggregation tree (Claim 2).
+    dst = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
+    sketches = aggregate(
+        cluster, partials_by_machine, _merge_sketches, dst=dst, note=f"{note}/sum"
+    )
+    for v in range(n):
+        if v not in sketches:
+            sketches[v] = VertexSketch(spec, v)  # isolated vertex
+
+    # Local Borůvka in sketch space on the (large) destination machine.
+    uf, _ = sketch_boruvka(spec, sketches)
+    smallest: dict[int, int] = {}
+    for v in range(n):
+        root = uf.find(v)
+        if root not in smallest or v < smallest[root]:
+            smallest[root] = v
+    return [smallest[uf.find(v)] for v in range(n)]
+
+
+def heterogeneous_connectivity(
+    graph: Graph,
+    config: ModelConfig | None = None,
+    rng: random.Random | None = None,
+    copies: int = 3,
+    instances: int = 3,
+) -> ConnectivityResult:
+    """Identify the connected components of *graph* in O(1) rounds.
+
+    A single sketch instance fails with small constant probability (some
+    supernode's samplers all miss in some phase), and failure is one-sided:
+    the instance reports *too many* components, never too few (sampled
+    edges are always real cut edges).  Running ``instances`` independent
+    instances in parallel and keeping the one with fewest components
+    therefore amplifies to w.h.p. — the paper's standard repetition.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    config = (
+        config
+        if config is not None
+        else ModelConfig.heterogeneous(n=graph.n, m=max(graph.m, 1))
+    )
+    cluster = Cluster(config, rng=random.Random(rng.random()))
+    store = EdgeStore.create(
+        cluster, [(e[0], e[1]) for e in graph.edges], name="conn-edges"
+    )
+    best: list[int] | None = None
+    with cluster.ledger.parallel("instances") as par:
+        for _ in range(max(1, instances)):
+            with par.branch():
+                labels = sketch_components(
+                    cluster, store, graph.n, rng, copies=copies
+                )
+            if best is None or len(set(labels)) < len(set(best)):
+                best = labels
+    assert best is not None
+    return ConnectivityResult(
+        labels=best,
+        num_components=len(set(best)),
+        rounds=cluster.ledger.rounds,
+        cluster=cluster,
+    )

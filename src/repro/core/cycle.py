@@ -1,0 +1,61 @@
+"""The 1-vs-2 cycle problem — the conjectured-hard core of sublinear MPC.
+
+The paper's motivating observation (Section 1): distinguishing one cycle of
+length ``n`` from two cycles of length ``n/2`` is conjectured to need
+``Ω(log n)`` rounds in sublinear MPC, but becomes *trivial* with a single
+machine of memory ``Ω(n log n)`` — a cycle graph has exactly ``n`` edges,
+so the large machine can just collect the whole input and count components
+locally, in one round.
+
+For the baseline column we also provide the classic sublinear-MPC pointer
+strategy via Borůvka-style component merging (``repro.baselines``), whose
+measured round count grows with ``log n``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph
+from ..graph.union_find import UnionFind
+from ..mpc import Cluster, ModelConfig
+from ..primitives.edgestore import EdgeStore
+
+__all__ = ["CycleResult", "solve_one_vs_two_cycles"]
+
+
+@dataclass
+class CycleResult:
+    """Outcome of the 1-vs-2 cycle decision."""
+
+    num_cycles: int
+    rounds: int
+    cluster: Cluster = field(default=None, repr=False)
+
+
+def solve_one_vs_two_cycles(
+    graph: Graph,
+    config: ModelConfig | None = None,
+    rng: random.Random | None = None,
+) -> CycleResult:
+    """Decide whether the input (promised to be a disjoint union of cycles)
+    is one cycle or two.  One round: the input has ``m = n`` edges, which
+    fits the large machine."""
+    rng = rng if rng is not None else random.Random(0)
+    config = (
+        config
+        if config is not None
+        else ModelConfig.heterogeneous(n=graph.n, m=max(graph.m, 1))
+    )
+    cluster = Cluster(config, rng=random.Random(rng.random()))
+    store = EdgeStore.create(
+        cluster, [(e[0], e[1]) for e in graph.edges], name="cycle-edges"
+    )
+    edges = store.gather_to_large(note="cycle/gather")
+    uf = UnionFind(range(graph.n))
+    for u, v in edges:
+        uf.union(u, v)
+    return CycleResult(
+        num_cycles=uf.num_components, rounds=cluster.ledger.rounds, cluster=cluster
+    )

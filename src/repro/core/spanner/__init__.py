@@ -1,0 +1,28 @@
+"""Section 4: clustering graphs, modified Baswana–Sen, spanners, APSP."""
+
+from .apsp import ApproximateAPSP, build_apsp_oracle
+from .clustering import ClusteringGraphs, build_clustering_graphs, degree_scale
+from .modified_bs import (
+    ClusterPhaseResult,
+    VertexLabel,
+    cluster_phase,
+    modified_baswana_sen_local,
+    modified_baswana_sen_mpc,
+)
+from .spanner import SpannerResult, heterogeneous_spanner, level_sampling_probability
+
+__all__ = [
+    "ApproximateAPSP",
+    "build_apsp_oracle",
+    "ClusteringGraphs",
+    "build_clustering_graphs",
+    "degree_scale",
+    "ClusterPhaseResult",
+    "VertexLabel",
+    "cluster_phase",
+    "modified_baswana_sen_local",
+    "modified_baswana_sen_mpc",
+    "SpannerResult",
+    "heterogeneous_spanner",
+    "level_sampling_probability",
+]

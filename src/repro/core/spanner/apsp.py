@@ -1,0 +1,62 @@
+"""Corollary 4.2 — O(log n)-approximate APSP in O(1) rounds.
+
+Take ``k = ceil(log2 n)``: the (6k-1)-spanner has size ``O~(n)`` and fits
+on the large machine, which can then answer any distance query locally by
+running Dijkstra/BFS on the spanner.  Every reported distance ``d~``
+satisfies ``d <= d~ <= stretch * d``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ...graph.graph import Graph
+from ...graph.traversal import single_source_distances
+from ...mpc import ModelConfig
+from .spanner import SpannerResult, heterogeneous_spanner
+
+__all__ = ["ApproximateAPSP", "build_apsp_oracle"]
+
+
+@dataclass
+class ApproximateAPSP:
+    """A distance oracle stored on the large machine."""
+
+    spanner: SpannerResult
+    subgraph: Graph = field(repr=False)
+    stretch_bound: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.stretch_bound:
+            self.stretch_bound = self.spanner.stretch_bound
+
+    def distances_from(self, source: int) -> list[float]:
+        """Approximate distances from *source* to every vertex (local
+        computation on the large machine)."""
+        return single_source_distances(self.subgraph, source)
+
+    def distance(self, u: int, v: int) -> float:
+        return self.distances_from(u)[v]
+
+    @property
+    def rounds(self) -> int:
+        return self.spanner.rounds
+
+
+def build_apsp_oracle(
+    graph: Graph,
+    config: ModelConfig | None = None,
+    rng: random.Random | None = None,
+    k: int | None = None,
+) -> ApproximateAPSP:
+    """Build the O(log n)-approximate APSP oracle of Corollary 4.2."""
+    if k is None:
+        k = max(2, math.ceil(math.log2(max(graph.n, 4))))
+    result = heterogeneous_spanner(graph, k=k, config=config, rng=rng)
+    if graph.weighted:
+        subgraph = Graph(graph.n, sorted(result.edges), weighted=True)
+    else:
+        subgraph = Graph(graph.n, sorted(result.edges), weighted=False)
+    return ApproximateAPSP(spanner=result, subgraph=subgraph)

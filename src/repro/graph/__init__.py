@@ -1,0 +1,15 @@
+"""Graph substrate: types, generators, traversal, validation."""
+
+from .graph import Graph, canonical_edge
+from .union_find import UnionFind
+from . import arboricity, generators, traversal, validation
+
+__all__ = [
+    "Graph",
+    "canonical_edge",
+    "UnionFind",
+    "arboricity",
+    "generators",
+    "traversal",
+    "validation",
+]

@@ -1,0 +1,239 @@
+"""Workload generators for tests, examples and the benchmark harness.
+
+Each generator takes an explicit ``random.Random`` so every experiment is
+reproducible.  Weighted variants attach a random permutation of ``1..m`` as
+weights — unique positive integers, the paper's standing assumption.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import Graph
+
+__all__ = [
+    "gnm_random_graph",
+    "random_connected_graph",
+    "random_tree",
+    "cycle_graph",
+    "two_cycles",
+    "one_or_two_cycles",
+    "complete_graph",
+    "grid_graph",
+    "preferential_attachment_graph",
+    "planted_components_graph",
+    "planted_cut_graph",
+    "random_bipartite_graph",
+    "weighted",
+]
+
+
+def weighted(graph: Graph, rng: random.Random) -> Graph:
+    """Attach unique random integer weights ``1..m`` to *graph*."""
+    return graph.with_unique_weights(rng)
+
+
+def _sample_edges(n: int, m: int, rng: random.Random, forbidden=frozenset()):
+    max_edges = n * (n - 1) // 2
+    if m > max_edges - len(forbidden):
+        raise ValueError(f"cannot place {m} edges in a simple graph on {n} vertices")
+    edges: set[tuple[int, int]] = set()
+    # Dense case: sample from the explicit complement to avoid rejection
+    # stalls; sparse case: rejection sampling.
+    if m > max_edges // 2:
+        population = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if (u, v) not in forbidden
+        ]
+        edges.update(rng.sample(population, m))
+    else:
+        while len(edges) < m:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u == v:
+                continue
+            if u > v:
+                u, v = v, u
+            if (u, v) in forbidden or (u, v) in edges:
+                continue
+            edges.add((u, v))
+    return edges
+
+
+def gnm_random_graph(n: int, m: int, rng: random.Random) -> Graph:
+    """Uniform simple graph with exactly *m* edges (the G(n, m) model)."""
+    return Graph(n, sorted(_sample_edges(n, m, rng)))
+
+
+def random_tree(n: int, rng: random.Random) -> Graph:
+    """Uniform random recursive tree (each vertex attaches to a random
+    earlier vertex)."""
+    edges = [(rng.randrange(v), v) for v in range(1, n)]
+    return Graph(n, edges)
+
+
+def random_connected_graph(n: int, m: int, rng: random.Random) -> Graph:
+    """Connected graph: a random spanning tree plus ``m - (n-1)`` extra
+    random edges."""
+    if m < n - 1:
+        raise ValueError("a connected graph needs at least n-1 edges")
+    tree = {(min(u, v), max(u, v)) for u, v in random_tree(n, rng).edges}
+    extra = _sample_edges(n, m - len(tree), rng, forbidden=frozenset(tree))
+    return Graph(n, sorted(tree | extra))
+
+
+def cycle_graph(n: int, rng: random.Random | None = None) -> Graph:
+    """A single cycle on *n* vertices (with randomly permuted vertex labels
+    when *rng* is given, so the structure is not visible in the ids)."""
+    labels = list(range(n))
+    if rng is not None:
+        rng.shuffle(labels)
+    edges = [
+        (labels[i], labels[(i + 1) % n]) for i in range(n)
+    ]
+    return Graph(n, [(min(u, v), max(u, v)) for u, v in edges])
+
+
+def two_cycles(n: int, rng: random.Random | None = None) -> Graph:
+    """Two disjoint cycles covering *n* vertices (n >= 6)."""
+    if n < 6:
+        raise ValueError("need n >= 6 for two cycles of length >= 3")
+    labels = list(range(n))
+    if rng is not None:
+        rng.shuffle(labels)
+    half = n // 2
+    edges = []
+    for block in (labels[:half], labels[half:]):
+        k = len(block)
+        edges.extend((block[i], block[(i + 1) % k]) for i in range(k))
+    return Graph(n, [(min(u, v), max(u, v)) for u, v in edges])
+
+
+def one_or_two_cycles(n: int, rng: random.Random) -> tuple[Graph, int]:
+    """A random instance of the 1-vs-2 cycle problem; returns the graph and
+    the true number of cycles."""
+    cycles = rng.choice((1, 2))
+    graph = cycle_graph(n, rng) if cycles == 1 else two_cycles(n, rng)
+    return graph, cycles
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows x cols grid; vertex ``(r, c)`` has id ``r * cols + c``."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def preferential_attachment_graph(n: int, k: int, rng: random.Random) -> Graph:
+    """Barabási–Albert-style graph: each new vertex attaches to *k* distinct
+    existing vertices chosen proportionally to degree.  Produces the skewed
+    degree distributions that exercise the degree-split matching phases."""
+    if k < 1 or n <= k:
+        raise ValueError("need 1 <= k < n")
+    edges: set[tuple[int, int]] = set()
+    endpoint_pool: list[int] = list(range(k + 1))
+    for u in range(k + 1):
+        for v in range(u + 1, k + 1):
+            edges.add((u, v))
+            endpoint_pool.extend((u, v))
+    for v in range(k + 1, n):
+        targets: set[int] = set()
+        while len(targets) < k:
+            targets.add(rng.choice(endpoint_pool))
+        for t in targets:
+            edges.add((min(t, v), max(t, v)))
+            endpoint_pool.extend((t, v))
+    return Graph(n, sorted(edges))
+
+
+def planted_components_graph(
+    n: int, components: int, extra_edges: int, rng: random.Random
+) -> Graph:
+    """A graph with exactly *components* connected components: disjoint
+    random trees plus intra-component extra edges."""
+    if components > n:
+        raise ValueError("more components than vertices")
+    boundaries = sorted(rng.sample(range(1, n), components - 1)) if components > 1 else []
+    blocks = []
+    start = 0
+    for end in boundaries + [n]:
+        blocks.append(list(range(start, end)))
+        start = end
+    edges: set[tuple[int, int]] = set()
+    for block in blocks:
+        for index in range(1, len(block)):
+            parent = block[rng.randrange(index)]
+            edges.add((min(parent, block[index]), max(parent, block[index])))
+    attempts = 0
+    while extra_edges > 0 and attempts < 50 * extra_edges + 100:
+        attempts += 1
+        block = rng.choice(blocks)
+        if len(block) < 3:
+            continue
+        u, v = rng.sample(block, 2)
+        edge = (min(u, v), max(u, v))
+        if edge not in edges:
+            edges.add(edge)
+            extra_edges -= 1
+    return Graph(n, sorted(edges))
+
+
+def planted_cut_graph(
+    n: int, cut_size: int, intra_density: float, rng: random.Random
+) -> Graph:
+    """Two dense halves joined by exactly *cut_size* edges.
+
+    With ``intra_density`` comfortably above ``2 * cut_size / n``, the
+    planted cut is the (unique) minimum cut — the min-cut benchmarks verify
+    this with the sequential Stoer–Wagner oracle rather than assuming it.
+    """
+    half = n // 2
+    left = list(range(half))
+    right = list(range(half, n))
+    edges: set[tuple[int, int]] = set()
+    for block in (left, right):
+        for index in range(1, len(block)):
+            parent = block[rng.randrange(index)]
+            edges.add((min(parent, block[index]), max(parent, block[index])))
+        target = int(intra_density * len(block))
+        added = 0
+        attempts = 0
+        while added < target and attempts < 50 * target + 100:
+            attempts += 1
+            u, v = rng.sample(block, 2)
+            edge = (min(u, v), max(u, v))
+            if edge not in edges:
+                edges.add(edge)
+                added += 1
+    crossing = set()
+    while len(crossing) < cut_size:
+        u = rng.choice(left)
+        v = rng.choice(right)
+        crossing.add((u, v))
+    return Graph(n, sorted(edges | crossing))
+
+
+def random_bipartite_graph(
+    left: int, right: int, m: int, rng: random.Random
+) -> Graph:
+    """Random bipartite graph on ``left + right`` vertices with *m* edges."""
+    if m > left * right:
+        raise ValueError("too many edges for the bipartition")
+    edges: set[tuple[int, int]] = set()
+    while len(edges) < m:
+        u = rng.randrange(left)
+        v = left + rng.randrange(right)
+        edges.add((u, v))
+    return Graph(left + right, sorted(edges))

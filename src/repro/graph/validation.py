@@ -1,0 +1,174 @@
+"""Validators: check distributed outputs against sequential ground truth.
+
+Every core algorithm's tests go through these; they are deliberately
+independent of the MPC code paths (plain sequential graph algorithms), so a
+bug cannot hide in shared logic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .graph import Graph
+from .traversal import single_source_distances
+from .union_find import UnionFind
+
+__all__ = [
+    "is_spanning_forest",
+    "is_spanning_tree",
+    "verify_mst",
+    "spanner_stretch",
+    "verify_spanner",
+    "is_matching",
+    "is_maximal_matching",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_proper_coloring",
+    "cut_value",
+    "verify_components",
+]
+
+
+def _endpoints(edges: Iterable[tuple]) -> list[tuple[int, int]]:
+    return [(e[0], e[1]) for e in edges]
+
+
+def is_spanning_forest(graph: Graph, edges: Iterable[tuple]) -> bool:
+    """True iff *edges* are acyclic in *graph* and span every component."""
+    edge_pairs = _endpoints(edges)
+    graph_edges = graph.edge_set()
+    uf = UnionFind(range(graph.n))
+    for u, v in edge_pairs:
+        if (min(u, v), max(u, v)) not in graph_edges:
+            return False
+        if not uf.union(u, v):
+            return False  # cycle
+    truth = UnionFind(range(graph.n))
+    for e in graph.edges:
+        truth.union(e[0], e[1])
+    return uf.num_components == truth.num_components
+
+
+def is_spanning_tree(graph: Graph, edges: Iterable[tuple]) -> bool:
+    edge_pairs = _endpoints(edges)
+    return len(edge_pairs) == graph.n - 1 and is_spanning_forest(graph, edge_pairs)
+
+
+def verify_mst(graph: Graph, edges: Iterable[tuple]) -> bool:
+    """Exact MST check.  Weights are unique, so the minimum spanning forest
+    is unique and we can compare edge sets against Kruskal."""
+    from ..local.mst import kruskal  # local import to avoid a cycle
+
+    expected = {(e[0], e[1]) for e in kruskal(graph)}
+    actual = {(min(e[0], e[1]), max(e[0], e[1])) for e in edges}
+    return expected == actual
+
+
+def spanner_stretch(graph: Graph, spanner_edges: Iterable[tuple]) -> float:
+    """The worst multiplicative stretch of the subgraph over all vertex
+    pairs (1.0 for an empty graph).  Exact; use at validation sizes only."""
+    weight = graph.weight_map() if graph.weighted else None
+    spanner_list = []
+    for e in spanner_edges:
+        u, v = min(e[0], e[1]), max(e[0], e[1])
+        if weight is None:
+            spanner_list.append((u, v))
+        else:
+            spanner_list.append((u, v, weight[(u, v)]))
+    subgraph = Graph(graph.n, set(spanner_list), weighted=graph.weighted)
+    worst = 1.0
+    for source in range(graph.n):
+        dist_g = single_source_distances(graph, source)
+        dist_h = single_source_distances(subgraph, source)
+        for target in range(graph.n):
+            if dist_g[target] == 0:
+                continue
+            if math.isinf(dist_g[target]):
+                if not math.isinf(dist_h[target]):
+                    return math.inf
+                continue
+            if math.isinf(dist_h[target]):
+                return math.inf
+            worst = max(worst, dist_h[target] / dist_g[target])
+    return worst
+
+
+def verify_spanner(
+    graph: Graph, spanner_edges: Iterable[tuple], stretch: float
+) -> bool:
+    """True iff the edges form a subgraph of stretch at most *stretch* and
+    are all real graph edges."""
+    graph_edges = graph.edge_set()
+    pairs = {(min(e[0], e[1]), max(e[0], e[1])) for e in spanner_edges}
+    if not pairs <= graph_edges:
+        return False
+    return spanner_stretch(graph, pairs) <= stretch + 1e-9
+
+
+def is_matching(graph: Graph, matching: Iterable[tuple]) -> bool:
+    graph_edges = graph.edge_set()
+    used: set[int] = set()
+    for e in matching:
+        u, v = min(e[0], e[1]), max(e[0], e[1])
+        if (u, v) not in graph_edges:
+            return False
+        if u in used or v in used:
+            return False
+        used.update((u, v))
+    return True
+
+
+def is_maximal_matching(graph: Graph, matching: Iterable[tuple]) -> bool:
+    matching = list(matching)
+    if not is_matching(graph, matching):
+        return False
+    matched = {x for e in matching for x in (e[0], e[1])}
+    return all(e[0] in matched or e[1] in matched for e in graph.edges)
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    chosen = set(vertices)
+    if not all(0 <= v < graph.n for v in chosen):
+        return False
+    return all(not (e[0] in chosen and e[1] in chosen) for e in graph.edges)
+
+
+def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    chosen = set(vertices)
+    if not is_independent_set(graph, chosen):
+        return False
+    adjacency = graph.adjacency()
+    for v in range(graph.n):
+        if v not in chosen and not any(u in chosen for u, _ in adjacency[v]):
+            return False
+    return True
+
+
+def is_proper_coloring(
+    graph: Graph, colors: Sequence[int], max_colors: int | None = None
+) -> bool:
+    if len(colors) != graph.n:
+        return False
+    if max_colors is not None and any(
+        not (0 <= c < max_colors) for c in colors
+    ):
+        return False
+    return all(colors[e[0]] != colors[e[1]] for e in graph.edges)
+
+
+def cut_value(graph: Graph, side: Iterable[int]) -> int:
+    """Total weight (count, if unweighted) of edges crossing the cut."""
+    side_set = set(side)
+    total = 0
+    for e in graph.edges:
+        if (e[0] in side_set) != (e[1] in side_set):
+            total += e[2] if graph.weighted else 1
+    return total
+
+
+def verify_components(graph: Graph, labels: Sequence[int]) -> bool:
+    """True iff *labels* is exactly the canonical component labeling."""
+    from .traversal import component_labels
+
+    return list(labels) == component_labels(graph)

@@ -1,0 +1,6 @@
+"""Sequential algorithms: the large machine's local toolbox plus the
+ground-truth oracles used by validators and tests."""
+
+from . import baswana_sen, coloring, matching, mincut, mis, mst
+
+__all__ = ["baswana_sen", "coloring", "matching", "mincut", "mis", "mst"]

@@ -1,0 +1,119 @@
+"""The classic Baswana–Sen spanner (Algorithm 1 of the paper).
+
+This is the sequential (2k-1)-spanner construction that (a) the large
+machine runs directly on clustering graphs that fit in its memory, and
+(b) serves as the reference point for Figure 1 and Lemma 4.3 — the modified
+variant in ``repro.core.spanner`` over-approximates *this* algorithm's
+output by a factor ``1/p``.
+
+The paper states the algorithm for unweighted graphs (Section 4 reduces the
+weighted case to the unweighted one), and so do we.  The implementation
+follows the pseudocode of Algorithm 1 literally, including the convention
+that level-``k`` is empty so every still-clustered vertex is "removed" at
+the last step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph
+
+__all__ = ["BaswanaSenRun", "baswana_sen"]
+
+
+@dataclass
+class BaswanaSenRun:
+    """Full trace of a Baswana–Sen execution.
+
+    Attributes:
+        spanner: the (2k-1)-spanner edge set (canonical pairs).
+        centers: ``centers[i][v]`` is the center of v's level-i cluster, or
+            ``None``; index 0 is the trivial clustering ``c_0(v) = v``.
+        reclustered_edges: edges added when a vertex was re-clustered
+            (line 12 of Algorithm 1).
+        removal_edges: edges added when a vertex was removed (line 15).
+    """
+
+    spanner: set[tuple[int, int]]
+    centers: list[list[int | None]]
+    reclustered_edges: set[tuple[int, int]] = field(default_factory=set)
+    removal_edges: set[tuple[int, int]] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.spanner)
+
+
+def baswana_sen(graph: Graph, k: int, rng: random.Random) -> BaswanaSenRun:
+    """Compute a (2k-1)-spanner of expected size ``O(k n^{1+1/k})``.
+
+    Args:
+        graph: an unweighted graph (weights, if present, are ignored — the
+            paper's spanner section treats the unweighted case).
+        k: stretch parameter, ``1 <= k <= log2 n`` is the useful range.
+        rng: source of randomness for the center sampling.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    n = graph.n
+    adjacency = graph.adjacency()
+    sample_probability = n ** (-1.0 / k)
+
+    spanner: set[tuple[int, int]] = set()
+    reclustered: set[tuple[int, int]] = set()
+    removal: set[tuple[int, int]] = set()
+
+    centers: list[list[int | None]] = [list(range(n))]
+    current_centers: set[int] = set(range(n))
+
+    for i in range(1, k + 1):
+        prev = centers[-1]
+        if i == k:
+            new_centers: set[int] = set()
+        else:
+            new_centers = {
+                c for c in current_centers if rng.random() < sample_probability
+            }
+        level: list[int | None] = [None] * n
+        for v in range(n):
+            center = prev[v]
+            if center is None:
+                continue
+            if center in new_centers:
+                level[v] = center
+                continue
+            # v became unclustered; try to re-cluster via a sampled neighbor.
+            candidate_edge = None
+            for u, _ in adjacency[v]:
+                u_center = prev[u]
+                if u_center is not None and u_center in new_centers:
+                    candidate_edge = (min(u, v), max(u, v))
+                    level[v] = u_center
+                    break
+            if candidate_edge is not None:
+                spanner.add(candidate_edge)
+                reclustered.add(candidate_edge)
+            else:
+                # v is removed: one edge to each adjacent level-(i-1) cluster.
+                chosen: dict[int, tuple[int, int]] = {}
+                for u, _ in adjacency[v]:
+                    u_center = prev[u]
+                    if u_center is None:
+                        continue
+                    edge = (min(u, v), max(u, v))
+                    if u_center not in chosen or edge < chosen[u_center]:
+                        chosen[u_center] = edge
+                for edge in chosen.values():
+                    spanner.add(edge)
+                    removal.add(edge)
+        centers.append(level)
+        current_centers = new_centers
+
+    return BaswanaSenRun(
+        spanner=spanner,
+        centers=centers,
+        reclustered_edges=reclustered,
+        removal_edges=removal,
+    )

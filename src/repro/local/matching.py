@@ -1,0 +1,42 @@
+"""Sequential matching routines used by the large machine."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+__all__ = ["greedy_maximal_matching", "random_greedy_matching", "extend_matching"]
+
+
+def greedy_maximal_matching(
+    edges: Iterable[tuple], matched: set[int] | None = None
+) -> list[tuple[int, int]]:
+    """Greedy maximal matching over an edge list, skipping endpoints already
+    in *matched* (which is updated in place when provided)."""
+    used = matched if matched is not None else set()
+    result: list[tuple[int, int]] = []
+    for edge in edges:
+        u, v = edge[0], edge[1]
+        if u not in used and v not in used:
+            used.update((u, v))
+            result.append((min(u, v), max(u, v)))
+    return result
+
+
+def random_greedy_matching(
+    edges: Sequence[tuple], rng: random.Random
+) -> list[tuple[int, int]]:
+    """Greedy matching over a uniformly random edge order."""
+    order = list(edges)
+    rng.shuffle(order)
+    return greedy_maximal_matching(order)
+
+
+def extend_matching(
+    matching: Iterable[tuple[int, int]], extra_edges: Iterable[tuple]
+) -> list[tuple[int, int]]:
+    """Extend *matching* greedily with *extra_edges*; returns the union."""
+    result = [(min(u, v), max(u, v)) for u, v in matching]
+    used = {x for e in result for x in e}
+    result.extend(greedy_maximal_matching(extra_edges, matched=used))
+    return result

@@ -1,0 +1,49 @@
+"""Sequential maximal independent set routines."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["greedy_mis", "greedy_mis_edges"]
+
+
+def greedy_mis(n: int, edges: Iterable[tuple], order: Sequence[int]) -> set[int]:
+    """Greedy MIS over vertex *order* (the rank order of GGKMR)."""
+    adjacency: dict[int, set[int]] = {v: set() for v in range(n)}
+    for edge in edges:
+        adjacency[edge[0]].add(edge[1])
+        adjacency[edge[1]].add(edge[0])
+    chosen: set[int] = set()
+    blocked: set[int] = set()
+    for v in order:
+        if v in blocked:
+            continue
+        chosen.add(v)
+        blocked.add(v)
+        blocked.update(adjacency[v])
+    return chosen
+
+
+def greedy_mis_edges(
+    vertices: Iterable[int],
+    edges: Iterable[tuple],
+    order: Sequence[int],
+    already_blocked: set[int] | None = None,
+) -> set[int]:
+    """Greedy MIS on an arbitrary vertex subset given by id, respecting a
+    set of vertices that are *already* dominated (by earlier iterations)."""
+    vertex_set = set(vertices)
+    adjacency: dict[int, set[int]] = {v: set() for v in vertex_set}
+    for edge in edges:
+        if edge[0] in vertex_set and edge[1] in vertex_set:
+            adjacency[edge[0]].add(edge[1])
+            adjacency[edge[1]].add(edge[0])
+    blocked = set(already_blocked or ())
+    chosen: set[int] = set()
+    for v in order:
+        if v not in vertex_set or v in blocked:
+            continue
+        chosen.add(v)
+        blocked.add(v)
+        blocked.update(adjacency[v])
+    return chosen

@@ -1,0 +1,37 @@
+"""Heterogeneous MPC simulator: machines, rounds, and accounting.
+
+This package implements the computational model of Section 2 of the paper:
+synchronous rounds, per-round communication bounded by machine memory, one
+near-linear machine plus many sublinear machines (with sublinear-only and
+superlinear-large variants for the baselines and for Theorems 3.1/5.5).
+"""
+
+from .cluster import Cluster, Message
+from .config import ModelConfig
+from .errors import (
+    AlgorithmFailure,
+    CommunicationLimitExceeded,
+    MemoryLimitExceeded,
+    MPCError,
+    ProtocolError,
+)
+from .ledger import RoundLedger, RoundRecord
+from .machine import LARGE, SMALL, Machine
+from .words import word_size
+
+__all__ = [
+    "Cluster",
+    "Message",
+    "ModelConfig",
+    "RoundLedger",
+    "RoundRecord",
+    "Machine",
+    "SMALL",
+    "LARGE",
+    "word_size",
+    "MPCError",
+    "MemoryLimitExceeded",
+    "CommunicationLimitExceeded",
+    "ProtocolError",
+    "AlgorithmFailure",
+]

@@ -1,0 +1,203 @@
+"""The MPC cluster: machines, synchronous rounds, communication accounting.
+
+The cluster is deliberately *orchestrated*: algorithm code runs centrally
+and moves data between machines with :meth:`Cluster.exchange`, which models
+one synchronous round.  The honesty of the simulation lives in the ledger —
+every logical communication costs a round, every payload is charged its
+word size against the sender's and receiver's capacity, and memory
+high-water marks are recorded after every round.  (Local computation
+between rounds is free, exactly as in the model.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Sequence
+
+from .config import ModelConfig
+from .errors import CommunicationLimitExceeded, ProtocolError
+from .ledger import RoundLedger
+from .machine import LARGE, SMALL, Machine
+from .words import word_size
+
+__all__ = ["Cluster", "Message"]
+
+#: (source machine id, destination machine id, payload)
+Message = tuple[int, int, Any]
+
+
+class Cluster:
+    """A heterogeneous MPC cluster built from a :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig, rng: random.Random | None = None) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else random.Random(0)
+        self.ledger = RoundLedger()
+
+        self.smalls: list[Machine] = [
+            Machine(i, SMALL, config.small_capacity) for i in range(config.num_small)
+        ]
+        self.larges: list[Machine] = [
+            Machine(config.num_small + j, LARGE, config.large_capacity)
+            for j in range(config.num_large)
+        ]
+        self.machines: dict[int, Machine] = {
+            machine.machine_id: machine for machine in self.smalls + self.larges
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def large(self) -> Machine:
+        """The single large machine of the paper's Heterogeneous MPC model."""
+        if not self.larges:
+            raise ProtocolError("this configuration has no large machine")
+        return self.larges[0]
+
+    @property
+    def has_large(self) -> bool:
+        return bool(self.larges)
+
+    @property
+    def small_ids(self) -> list[int]:
+        return [machine.machine_id for machine in self.smalls]
+
+    def machine(self, machine_id: int) -> Machine:
+        try:
+            return self.machines[machine_id]
+        except KeyError:
+            raise ProtocolError(f"no machine with id {machine_id}") from None
+
+    # ------------------------------------------------------------------
+    # The synchronous round
+    # ------------------------------------------------------------------
+    def exchange(
+        self, messages: Iterable[Message], note: str = ""
+    ) -> dict[int, list[Any]]:
+        """Deliver *messages* in one synchronous round.
+
+        Returns the inbox of each machine that received at least one
+        message.  Send/receive volumes are charged against each machine's
+        capacity; in strict mode a violation raises
+        :class:`CommunicationLimitExceeded`, otherwise it is recorded in
+        the ledger.
+        """
+        sent: dict[int, int] = {}
+        received: dict[int, int] = {}
+        inboxes: dict[int, list[Any]] = {}
+        total = 0
+
+        for src, dst, payload in messages:
+            if src not in self.machines or dst not in self.machines:
+                raise ProtocolError(f"message between unknown machines {src}->{dst}")
+            words = word_size(payload)
+            total += words
+            sent[src] = sent.get(src, 0) + words
+            received[dst] = received.get(dst, 0) + words
+            inboxes.setdefault(dst, []).append(payload)
+
+        violations: list[str] = []
+        for mid, words in sent.items():
+            if words > self.machines[mid].capacity:
+                violations.append(
+                    f"round {self.ledger.rounds + 1} [{note}]: machine {mid} "
+                    f"sent {words} > capacity {self.machines[mid].capacity}"
+                )
+        for mid, words in received.items():
+            if words > self.machines[mid].capacity:
+                violations.append(
+                    f"round {self.ledger.rounds + 1} [{note}]: machine {mid} "
+                    f"received {words} > capacity {self.machines[mid].capacity}"
+                )
+        if violations and self.config.strict:
+            raise CommunicationLimitExceeded("; ".join(violations))
+
+        self.ledger.record_round(
+            note=note,
+            total_words=total,
+            max_sent=max(sent.values(), default=0),
+            max_received=max(received.values(), default=0),
+            violations=tuple(violations),
+        )
+        self._record_memory()
+        return inboxes
+
+    def _record_memory(self) -> None:
+        for machine in self.machines.values():
+            self.ledger.record_memory(machine.machine_id, machine.usage)
+
+    # ------------------------------------------------------------------
+    # Common one-round patterns
+    # ------------------------------------------------------------------
+    def gather(
+        self,
+        dst: int,
+        items_by_src: dict[int, Sequence[Any]],
+        note: str = "gather",
+    ) -> list[Any]:
+        """All listed machines send their items to *dst* in one round."""
+        messages = [
+            (src, dst, item)
+            for src, items in items_by_src.items()
+            for item in items
+        ]
+        inboxes = self.exchange(messages, note=note)
+        return inboxes.get(dst, [])
+
+    def scatter(
+        self,
+        src: int,
+        items_by_dst: dict[int, Sequence[Any]],
+        note: str = "scatter",
+    ) -> dict[int, list[Any]]:
+        """Machine *src* sends a list of items to each destination, one round."""
+        messages = [
+            (src, dst, item)
+            for dst, items in items_by_dst.items()
+            for item in items
+        ]
+        return self.exchange(messages, note=note)
+
+    # ------------------------------------------------------------------
+    # Input placement
+    # ------------------------------------------------------------------
+    def distribute_edges(
+        self,
+        edges: Sequence[Any],
+        name: str = "edges",
+        shuffle: bool = True,
+    ) -> None:
+        """Place the input edges on the small machines (arbitrarily, as the
+        model allows; costs zero rounds — this is the *initial* state)."""
+        order = list(edges)
+        if shuffle:
+            self.rng.shuffle(order)
+        buckets: list[list[Any]] = [[] for _ in self.smalls]
+        for index, edge in enumerate(order):
+            buckets[index % len(buckets)].append(edge)
+        for machine, bucket in zip(self.smalls, buckets):
+            machine.put(name, bucket)
+        self._record_memory()
+
+    # ------------------------------------------------------------------
+    # Simulation-side inspection (costs no rounds; used by orchestration
+    # logic and by tests, never as a stand-in for communication).
+    # ------------------------------------------------------------------
+    def all_items(self, name: str) -> list[Any]:
+        items: list[Any] = []
+        for machine in self.smalls:
+            items.extend(machine.get(name, []))
+        return items
+
+    def map_small(self, name: str, fn: Callable[[Machine, list[Any]], list[Any]]) -> None:
+        """Apply a local (zero-round) transformation on each small machine."""
+        for machine in self.smalls:
+            machine.put(name, fn(machine, machine.get(name, [])))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(n={self.config.n}, m={self.config.m}, "
+            f"smalls={len(self.smalls)}, larges={len(self.larges)}, "
+            f"rounds={self.ledger.rounds})"
+        )

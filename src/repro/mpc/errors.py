@@ -1,0 +1,33 @@
+"""Exceptions raised by the MPC simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPCError",
+    "MemoryLimitExceeded",
+    "CommunicationLimitExceeded",
+    "ProtocolError",
+    "AlgorithmFailure",
+]
+
+
+class MPCError(Exception):
+    """Base class for all simulator errors."""
+
+
+class MemoryLimitExceeded(MPCError):
+    """A machine's stored data exceeded its memory capacity (strict mode)."""
+
+
+class CommunicationLimitExceeded(MPCError):
+    """A machine sent or received more words in one round than it can store
+    (strict mode)."""
+
+
+class ProtocolError(MPCError):
+    """An algorithm violated the simulator's protocol (e.g. messaging a
+    machine that does not exist)."""
+
+
+class AlgorithmFailure(MPCError):
+    """A with-high-probability algorithm exhausted its retry budget."""

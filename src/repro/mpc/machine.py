@@ -1,0 +1,74 @@
+"""A single MPC machine: named datasets plus word-accurate usage tracking."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .words import word_size
+
+__all__ = ["Machine", "SMALL", "LARGE"]
+
+SMALL = "small"
+LARGE = "large"
+
+
+class Machine:
+    """One machine of the cluster.
+
+    Data lives in named datasets (``machine.put("edges", [...])``).  The
+    machine tracks the word size of each dataset so the cluster can enforce
+    or record memory usage cheaply.  Code that mutates a stored container in
+    place must call :meth:`touch` so the cached size is refreshed.
+    """
+
+    __slots__ = ("machine_id", "kind", "capacity", "_store", "_sizes")
+
+    def __init__(self, machine_id: int, kind: str, capacity: int) -> None:
+        self.machine_id = machine_id
+        self.kind = kind
+        self.capacity = capacity
+        self._store: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Dataset management
+    # ------------------------------------------------------------------
+    def put(self, name: str, value: Any) -> None:
+        self._store[name] = value
+        self._sizes[name] = word_size(value)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._store.get(name, default)
+
+    def pop(self, name: str, default: Any = None) -> Any:
+        self._sizes.pop(name, None)
+        return self._store.pop(name, default)
+
+    def touch(self, name: str) -> None:
+        """Recompute the cached size of *name* after in-place mutation."""
+        if name in self._store:
+            self._sizes[name] = word_size(self._store[name])
+
+    def datasets(self) -> Iterator[str]:
+        return iter(self._store)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def usage(self) -> int:
+        """Current memory usage in words (cached; see :meth:`touch`)."""
+        return sum(self._sizes.values())
+
+    @property
+    def is_large(self) -> bool:
+        return self.kind == LARGE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(id={self.machine_id}, kind={self.kind}, "
+            f"usage={self.usage}/{self.capacity})"
+        )

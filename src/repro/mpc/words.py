@@ -1,0 +1,40 @@
+"""Word-size accounting for the MPC simulator.
+
+The MPC model measures memory and communication in machine *words* of
+``Theta(log n)`` bits.  Every payload stored on a machine or sent in a round
+is charged according to :func:`word_size`:
+
+* scalars (ints, floats, bools, ``None``) cost one word — vertex ids, edge
+  weights and counters all fit in ``O(log n)`` bits by the paper's
+  conventions;
+* containers cost the sum of their elements (an ``(u, v, w)`` edge costs 3);
+* objects may define their own cost by implementing ``word_size()`` —
+  sketches and flow labels do this.
+
+Strings are charged one word per 8 characters (a word is at least 64 bits at
+any practical ``n``); they only appear in debugging payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["word_size"]
+
+_SCALARS = (int, float, bool, type(None))
+
+
+def word_size(obj: Any) -> int:
+    """Return the number of machine words needed to represent *obj*."""
+    if isinstance(obj, _SCALARS):
+        return 1
+    sizer = getattr(obj, "word_size", None)
+    if callable(sizer):
+        return int(sizer())
+    if isinstance(obj, str):
+        return 1 + len(obj) // 8
+    if isinstance(obj, dict):
+        return sum(word_size(k) + word_size(v) for k, v in obj.items())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(word_size(item) for item in obj)
+    raise TypeError(f"cannot compute word size of {type(obj).__name__}")

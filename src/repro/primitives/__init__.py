@@ -1,0 +1,26 @@
+"""Distributed primitives: the paper's Claims 1-4 plus supporting plumbing."""
+
+from .aggregate import aggregate, aggregate_counts, count_items
+from .arrange import Arrangement, arrange_directed, directed_copies
+from .broadcast import broadcast, converge_cast
+from .disseminate import disseminate, holders_by_key
+from .edgestore import EdgeStore
+from .join import annotate_edges_with_vertex_values
+from .sort import SortLayout, sample_sort
+
+__all__ = [
+    "aggregate",
+    "aggregate_counts",
+    "count_items",
+    "Arrangement",
+    "arrange_directed",
+    "directed_copies",
+    "broadcast",
+    "converge_cast",
+    "disseminate",
+    "holders_by_key",
+    "EdgeStore",
+    "annotate_edges_with_vertex_values",
+    "SortLayout",
+    "sample_sort",
+]

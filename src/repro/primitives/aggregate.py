@@ -1,0 +1,90 @@
+"""Claim 2 — constant-round aggregation.
+
+Given key/value items scattered over the small machines and an aggregation
+function (Definition 1), compute the aggregate per key.  Each machine first
+combines its own items per key; the partial aggregates then flow up a
+fanout-``n^gamma`` converge-cast tree, being re-combined at every level so
+intermediate volumes stay bounded; the final aggregates land on a
+destination machine (the large machine, in all of the paper's uses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from ..mpc.cluster import Cluster
+from .broadcast import converge_cast
+
+__all__ = ["aggregate", "aggregate_counts", "count_items"]
+
+
+def _combine_pairs(
+    pairs: list[tuple[Hashable, Any]],
+    combine: Callable[[Any, Any], Any],
+) -> list[tuple[Hashable, Any]]:
+    result: dict[Hashable, Any] = {}
+    for key, value in pairs:
+        result[key] = value if key not in result else combine(result[key], value)
+    return list(result.items())
+
+
+def aggregate(
+    cluster: Cluster,
+    pairs_by_machine: dict[int, Iterable[tuple[Hashable, Any]]],
+    combine: Callable[[Any, Any], Any],
+    dst: int | None = None,
+    note: str = "aggregate",
+) -> dict[Hashable, Any]:
+    """Aggregate ``(key, value)`` items with the binary *combine* function.
+
+    Returns the per-key aggregates, delivered to machine *dst* (default:
+    the large machine if present, else small machine 0).
+    """
+    if dst is None:
+        dst = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
+
+    def level_combine(buffer: list[Any]) -> list[Any]:
+        return _combine_pairs(buffer, combine)
+
+    locally_combined = {
+        mid: _combine_pairs(list(pairs), combine)
+        for mid, pairs in pairs_by_machine.items()
+    }
+    result_pairs = converge_cast(
+        cluster, locally_combined, dst, combine=level_combine, note=note
+    )
+    return dict(result_pairs)
+
+
+def aggregate_counts(
+    cluster: Cluster,
+    keys_by_machine: dict[int, Iterable[Hashable]],
+    dst: int | None = None,
+    note: str = "count",
+) -> dict[Hashable, int]:
+    """Count occurrences per key (e.g. vertex degrees, Claim 4 step 2)."""
+    pairs = {
+        mid: [(key, 1) for key in keys] for mid, keys in keys_by_machine.items()
+    }
+    return aggregate(cluster, pairs, lambda a, b: a + b, dst=dst, note=note)
+
+
+def count_items(
+    cluster: Cluster,
+    name: str,
+    predicate: Callable[[Any], bool] | None = None,
+    note: str = "count",
+) -> int:
+    """Total number of items (matching *predicate*) stored under *name*.
+
+    This is the 'each small machine sends a count, the large machine sums'
+    pattern used before every all-edges-to-the-large-machine step.
+    """
+    pairs = {
+        machine.machine_id: [
+            ("total", sum(1 for item in machine.get(name, []) if predicate is None or predicate(item)))
+        ]
+        for machine in cluster.smalls
+    }
+    totals = aggregate(cluster, pairs, lambda a, b: a + b, note=note)
+    return totals.get("total", 0)

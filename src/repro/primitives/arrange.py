@@ -1,0 +1,106 @@
+"""Claim 4 — arranging the edges of a directed graph on the machines.
+
+After ``arrange_directed``:
+
+1. each vertex's outgoing edges sit on consecutive small machines, sorted;
+2. the large machine knows, for every vertex, its out-degree, the first
+   machine holding its edges (``M_first``), and the full machine range —
+   this is exactly the information the MST algorithm's query step and the
+   dissemination trees of Claim 3 need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..mpc.cluster import Cluster
+from .aggregate import aggregate_counts
+from .sort import SortLayout, sample_sort
+
+__all__ = ["Arrangement", "arrange_directed", "directed_copies"]
+
+
+def directed_copies(edge: tuple) -> list[tuple]:
+    """Both orientations of an undirected edge, carrying the original edge:
+    ``(src, dst, edge)``."""
+    u, v = edge[0], edge[1]
+    return [(u, v, edge), (v, u, edge)]
+
+
+@dataclass
+class Arrangement:
+    """The outcome of Claim 4 (see module docstring)."""
+
+    name: str
+    layout: SortLayout
+    out_degrees: dict[int, int]
+    holders: dict[int, list[int]]
+
+    def first_machine(self, vertex: int) -> int | None:
+        machines = self.holders.get(vertex)
+        return machines[0] if machines else None
+
+
+def arrange_directed(
+    cluster: Cluster,
+    edges_name: str,
+    directed_name: str,
+    secondary_key: Callable[[tuple], Any] | None = None,
+    note: str = "arrange",
+) -> Arrangement:
+    """Arrange directed copies of the edges stored under *edges_name*.
+
+    Directed records are ``(src, dst, edge)`` tuples sorted by
+    ``(src, secondary_key(edge), dst)``; *secondary_key* defaults to the
+    edge itself (the MST algorithm passes the weight, so each vertex's
+    out-edges are weight-sorted as Section 3 requires).
+    """
+    key2 = secondary_key if secondary_key is not None else (lambda edge: edge)
+
+    for machine in cluster.smalls:
+        records = []
+        for edge in machine.get(edges_name, []):
+            records.extend(directed_copies(edge))
+        machine.put(directed_name, records)
+
+    layout = sample_sort(
+        cluster,
+        directed_name,
+        key=lambda record: (record[0], key2(record[2]), record[1]),
+        note=f"{note}/sort",
+    )
+
+    out_degrees = aggregate_counts(
+        cluster,
+        {
+            machine.machine_id: [record[0] for record in machine.get(directed_name, [])]
+            for machine in cluster.smalls
+        },
+        note=f"{note}/degrees",
+    )
+
+    holders: dict[int, list[int]] = {}
+    for machine in cluster.smalls:
+        seen: set[int] = set()
+        for record in machine.get(directed_name, []):
+            seen.add(record[0])
+        for vertex in sorted(seen):
+            holders.setdefault(vertex, []).append(machine.machine_id)
+
+    # Claim 4, property 2: the large machine informs each M_first(v).  (One
+    # scatter round; in the sublinear configuration machine 0 plays large.)
+    src = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
+    notifications: dict[int, list[Any]] = {}
+    for vertex, machines in holders.items():
+        notifications.setdefault(machines[0], []).append(
+            (vertex, out_degrees.get(vertex, 0))
+        )
+    cluster.scatter(src, notifications, note=f"{note}/notify-first")
+
+    return Arrangement(
+        name=directed_name,
+        layout=layout,
+        out_degrees=out_degrees,
+        holders=holders,
+    )

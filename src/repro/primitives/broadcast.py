@@ -1,0 +1,96 @@
+"""Tree broadcast and converge-cast over the small machines.
+
+The proofs of Claims 2 and 3 route information along trees with branching
+factor ``n^gamma``, giving depth ``O((1-gamma)/gamma) = O(1)`` for constant
+``gamma``.  These two functions are the reusable building blocks: broadcast
+pushes one value from a source to many machines; converge-cast pulls items
+from many machines to one destination, combining partial results at every
+level so no intermediate machine receives more than it can store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..mpc.cluster import Cluster
+
+__all__ = ["broadcast", "converge_cast"]
+
+
+def broadcast(
+    cluster: Cluster,
+    src: int,
+    value: Any,
+    dst_ids: Sequence[int],
+    note: str = "broadcast",
+) -> int:
+    """Send *value* from machine *src* to every machine in *dst_ids* along a
+    fanout-``n^gamma`` tree.  Returns the number of rounds used."""
+    fanout = cluster.config.tree_fanout
+    holders = [src]
+    pending = [d for d in dst_ids if d != src]
+    rounds = 0
+    while pending:
+        messages = []
+        new_holders = []
+        index = 0
+        for holder in holders:
+            for _ in range(fanout):
+                if index >= len(pending):
+                    break
+                target = pending[index]
+                index += 1
+                messages.append((holder, target, value))
+                new_holders.append(target)
+        pending = pending[index:]
+        cluster.exchange(messages, note=f"{note}/push")
+        holders.extend(new_holders)
+        rounds += 1
+    return rounds
+
+
+def converge_cast(
+    cluster: Cluster,
+    items_by_machine: dict[int, list[Any]],
+    dst: int,
+    combine: Callable[[list[Any]], list[Any]] | None = None,
+    note: str = "converge",
+) -> list[Any]:
+    """Funnel items from many machines into *dst* along a fanout tree.
+
+    *combine* (if given) is applied to each intermediate machine's buffer
+    after every level — this is how aggregation keeps intermediate volumes
+    bounded (Claim 2).  Returns the list of items that reach *dst*.
+    """
+    fanout = cluster.config.tree_fanout
+    buffers: dict[int, list[Any]] = {
+        mid: list(items) for mid, items in items_by_machine.items() if items
+    }
+    while True:
+        sources = sorted(mid for mid in buffers if mid != dst and buffers[mid])
+        if not sources:
+            break
+        if len(sources) <= fanout:
+            representatives = {mid: dst for mid in sources}
+        else:
+            representatives = {}
+            for position, mid in enumerate(sources):
+                group = position // fanout
+                representatives[mid] = sources[group] if sources[group] != mid else mid
+        messages = []
+        for mid in sources:
+            target = representatives[mid]
+            if target == mid:
+                continue
+            for item in buffers[mid]:
+                messages.append((mid, target, item))
+            buffers[mid] = []
+        inboxes = cluster.exchange(messages, note=f"{note}/level")
+        for target, received in inboxes.items():
+            buffers.setdefault(target, []).extend(received)
+            if combine is not None and target != dst:
+                buffers[target] = combine(buffers[target])
+    result = buffers.get(dst, [])
+    if combine is not None:
+        result = combine(result)
+    return result

@@ -1,0 +1,73 @@
+"""Distributed deduplication: keep the lightest record per key.
+
+After a contraction step, parallel edges appear between contracted
+vertices; the paper keeps only the lightest edge between any two nodes
+("easily done using a variant of Claim 2").  The output must stay
+*distributed*, so instead of funneling through the large machine we sort by
+``(key, weight)`` (Claim 1), drop duplicates locally, and fix groups that
+straddle machine boundaries with one extra round in which every machine
+tells its successor the last key it holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from ..mpc.cluster import Cluster
+from .sort import sample_sort
+
+__all__ = ["dedup_lightest"]
+
+
+def dedup_lightest(
+    cluster: Cluster,
+    name: str,
+    key: Callable[[Any], Hashable],
+    weight: Callable[[Any], Any],
+    note: str = "dedup",
+) -> None:
+    """Keep, for each key, only the record with the smallest weight.
+
+    Weights are unique within a key group (the paper's unique-weight
+    convention), so "the lightest" is well defined.
+    """
+    sample_sort(
+        cluster, name, key=lambda item: (key(item), weight(item)), note=f"{note}/sort"
+    )
+
+    # Local pass: within a machine, keep the first record of each group.
+    for machine in cluster.smalls:
+        kept = []
+        last_key: Any = _SENTINEL
+        for item in machine.get(name, []):
+            item_key = key(item)
+            if item_key != last_key:
+                kept.append(item)
+                last_key = item_key
+        machine.put(name, kept)
+
+    # Boundary pass: each non-empty machine announces the key of its last
+    # (pre-drop) record to the next non-empty machine, which then drops its
+    # leading records of that key.  One round.
+    nonempty = [m for m in cluster.smalls if m.get(name)]
+    messages = []
+    for left, right in zip(nonempty, nonempty[1:]):
+        messages.append(
+            (left.machine_id, right.machine_id, ("last-key", key(left.get(name)[-1])))
+        )
+    inboxes = cluster.exchange(messages, note=f"{note}/boundary")
+    for mid, received in inboxes.items():
+        machine = cluster.machine(mid)
+        boundary_keys = {payload[1] for payload in received}
+        items = machine.get(name, [])
+        index = 0
+        while index < len(items) and key(items[index]) in boundary_keys:
+            index += 1
+        machine.put(name, items[index:])
+
+
+class _Sentinel:
+    __slots__ = ()
+
+
+_SENTINEL = _Sentinel()

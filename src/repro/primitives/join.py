@@ -1,0 +1,118 @@
+"""Annotating edges with per-endpoint values (a constant-round sort-join).
+
+Many steps of the paper's algorithms end with: "the large machine
+disseminates a value per vertex, and each small machine examines every edge
+{u, v} it stores using the values of *both* u and v" (F-light filtering,
+cluster-center records, matched-vertex flags, palettes, ...).
+
+With edges laid out as directed copies, dissemination by source key (Claim
+3) hands each copy the value of one endpoint only.  The standard MPC remedy
+is a sort-join, and that is what we implement:
+
+1. make directed copies, sort by source, disseminate values keyed by source
+   so each copy of edge ``{u, v}`` oriented at ``u`` learns ``value[u]``;
+2. re-sort the annotated copies by canonical edge id — the two copies of
+   each undirected edge become globally adjacent (ranks 2j, 2j+1);
+3. one boundary round re-unites pairs that straddle a machine boundary;
+4. each machine zips adjacent copies into a single record
+   ``(edge, value_u, value_v)``.
+
+Total cost: O(1) rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from ..mpc.cluster import Cluster
+from ..mpc.errors import ProtocolError
+from .disseminate import disseminate
+from .sort import sample_sort
+
+__all__ = ["annotate_edges_with_vertex_values"]
+
+
+def annotate_edges_with_vertex_values(
+    cluster: Cluster,
+    edges_name: str,
+    values: dict[Hashable, Any],
+    out_name: str,
+    default: Any = None,
+    note: str = "annotate",
+) -> None:
+    """Build dataset *out_name*: one record ``(edge, value_u, value_v)`` per
+    undirected edge of *edges_name* (``value_u`` matches ``edge[0]``).
+
+    Vertices absent from *values* get *default*.  The input dataset is left
+    untouched.
+    """
+    work = f"{out_name}__directed"
+
+    # Step 1: directed copies, sorted by source vertex.
+    for machine in cluster.smalls:
+        records = []
+        for edge in machine.get(edges_name, []):
+            records.append((edge[0], edge))
+            records.append((edge[1], edge))
+        machine.put(work, records)
+    sample_sort(cluster, work, key=lambda r: (r[0], r[1]), note=f"{note}/sort-src")
+
+    # Step 2: disseminate values down per-vertex trees (Claim 3).
+    holders: dict[Hashable, list[int]] = {}
+    for machine in cluster.smalls:
+        for vertex in {record[0] for record in machine.get(work, [])}:
+            holders.setdefault(vertex, []).append(machine.machine_id)
+    present = {key: values.get(key, default) for key in holders}
+    received = disseminate(cluster, present, holders, note=f"{note}/values")
+
+    for machine in cluster.smalls:
+        local_values = received.get(machine.machine_id, {})
+        machine.put(
+            work,
+            [
+                (record[1], record[0], local_values.get(record[0], default))
+                for record in machine.get(work, [])
+            ],
+        )
+
+    # Step 3: re-sort by canonical edge id; the two copies become adjacent.
+    layout = sample_sort(
+        cluster, work, key=lambda r: (r[0], r[1]), note=f"{note}/sort-edge"
+    )
+    if layout.total % 2 != 0:
+        raise ProtocolError("odd number of directed copies; duplicate edges?")
+
+    # Step 4: pairs live at global ranks (2j, 2j+1); a machine whose range
+    # starts at an odd rank sends its first record back to the machine that
+    # holds the rank just before it.  One round fixes all boundaries.
+    offsets = layout.offsets
+    messages = []
+    for index, machine in enumerate(cluster.smalls):
+        records = machine.get(work, [])
+        if records and offsets[index] % 2 == 1:
+            target = layout.machine_of_rank(offsets[index] - 1)
+            messages.append((machine.machine_id, target, records[0]))
+            machine.put(work, records[1:])
+    inboxes = cluster.exchange(messages, note=f"{note}/boundary")
+    for mid, received_records in inboxes.items():
+        machine = cluster.machine(mid)
+        local = machine.get(work, [])
+        local.extend(received_records)
+        machine.put(work, sorted(local, key=lambda r: (r[0], r[1])))
+
+    # Step 5: zip adjacent copies into one record per undirected edge.
+    for machine in cluster.smalls:
+        records = machine.pop(work, [])
+        if len(records) % 2 != 0:
+            raise ProtocolError(
+                f"machine {machine.machine_id} holds an unpaired edge copy"
+            )
+        joined = []
+        for index in range(0, len(records), 2):
+            first, second = records[index], records[index + 1]
+            if first[0] != second[0]:
+                raise ProtocolError(f"mismatched edge copies {first} / {second}")
+            edge = first[0]
+            by_vertex = {first[1]: first[2], second[1]: second[2]}
+            joined.append((edge, by_vertex[edge[0]], by_vertex[edge[1]]))
+        machine.put(out_name, joined)

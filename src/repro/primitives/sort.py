@@ -1,0 +1,123 @@
+"""Claim 1 — O(1)-round distributed sorting (sample sort).
+
+Implements the Goodrich-style constant-round sort the paper cites [34]:
+
+1. every machine samples its items and ships the sample to a coordinator;
+2. the coordinator picks ``K-1`` splitters at even sample quantiles and
+   tree-broadcasts them;
+3. every machine routes each item to the bucket machine owning its splitter
+   interval (one round), and sorts its bucket locally;
+4. bucket counts are reported so later steps know the global layout.
+
+With sample rate ``Theta(K log K / N)`` the buckets are balanced within a
+constant factor w.h.p.; any overload is recorded by the ledger.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..mpc.cluster import Cluster
+from .broadcast import broadcast, converge_cast
+
+__all__ = ["SortLayout", "sample_sort"]
+
+
+@dataclass
+class SortLayout:
+    """Where the globally sorted sequence lives.
+
+    ``counts[i]`` is the number of items on the i-th small machine (in
+    machine order); ``offsets[i]`` is the global rank of that machine's
+    first item.
+    """
+
+    machine_ids: list[int]
+    counts: list[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def offsets(self) -> list[int]:
+        result = []
+        acc = 0
+        for count in self.counts:
+            result.append(acc)
+            acc += count
+        return result
+
+    def machine_of_rank(self, rank: int) -> int:
+        """The machine holding the item of global rank *rank*."""
+        if not 0 <= rank < self.total:
+            raise IndexError(rank)
+        offsets = self.offsets
+        index = bisect.bisect_right(offsets, rank) - 1
+        return self.machine_ids[index]
+
+
+def sample_sort(
+    cluster: Cluster,
+    name: str,
+    key: Callable[[Any], Any],
+    note: str = "sort",
+) -> SortLayout:
+    """Sort the items stored under dataset *name* across the small machines.
+
+    After the call, machine ``i``'s items are all <= machine ``i+1``'s
+    items (by *key*), and each machine's list is locally sorted.
+    """
+    smalls = cluster.smalls
+    machine_ids = [m.machine_id for m in smalls]
+    coordinator = cluster.large.machine_id if cluster.has_large else machine_ids[0]
+    total = sum(len(m.get(name, [])) for m in smalls)
+
+    if total == 0:
+        return SortLayout(machine_ids=machine_ids, counts=[0] * len(smalls))
+
+    # Step 1: sample and converge-cast the sample keys to the coordinator.
+    k = len(smalls)
+    rate = min(1.0, (4.0 * k * max(1.0, math.log2(k + 2))) / total)
+    samples_by_machine: dict[int, list[Any]] = {}
+    for machine in smalls:
+        local = machine.get(name, [])
+        samples = [key(item) for item in local if cluster.rng.random() < rate]
+        if samples:
+            samples_by_machine[machine.machine_id] = samples
+    sample_keys = converge_cast(
+        cluster, samples_by_machine, coordinator, note=f"{note}/sample"
+    )
+    sample_keys.sort()
+
+    # Step 2: the coordinator picks splitters and broadcasts them.
+    splitters: list[Any] = []
+    if sample_keys:
+        for bucket in range(1, k):
+            index = min(len(sample_keys) - 1, (bucket * len(sample_keys)) // k)
+            splitters.append(sample_keys[index])
+    broadcast(cluster, coordinator, tuple(splitters), machine_ids, note=f"{note}/splitters")
+
+    # Step 3: route every item to its bucket machine.
+    messages = []
+    for machine in smalls:
+        for item in machine.pop(name, []):
+            bucket = bisect.bisect_right(splitters, key(item))
+            messages.append((machine.machine_id, machine_ids[bucket], item))
+    inboxes = cluster.exchange(messages, note=f"{note}/route")
+    counts = []
+    for machine in smalls:
+        bucket_items = sorted(inboxes.get(machine.machine_id, []), key=key)
+        machine.put(name, bucket_items)
+        counts.append(len(bucket_items))
+
+    # Step 4: report bucket counts to the coordinator so the layout is known.
+    cluster.gather(
+        coordinator,
+        {mid: [(mid, count)] for mid, count in zip(machine_ids, counts)},
+        note=f"{note}/counts",
+    )
+    return SortLayout(machine_ids=machine_ids, counts=counts)

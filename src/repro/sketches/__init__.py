@@ -1,0 +1,29 @@
+"""Linear sketching substrate: k-wise hashing, one-sparse recovery,
+ℓ₀-samplers, and AGM graph sketches."""
+
+from .field import PRIME, KWiseHash, trailing_zeros
+from .graph_sketch import (
+    GraphSketchSpec,
+    VertexSketch,
+    components_from_sketches,
+    edge_from_id,
+    edge_id,
+    sketch_boruvka,
+)
+from .l0 import L0Sampler, L0SamplerSeeds
+from .onesparse import OneSparseSketch
+
+__all__ = [
+    "PRIME",
+    "KWiseHash",
+    "trailing_zeros",
+    "OneSparseSketch",
+    "L0Sampler",
+    "L0SamplerSeeds",
+    "GraphSketchSpec",
+    "VertexSketch",
+    "components_from_sketches",
+    "edge_from_id",
+    "edge_id",
+    "sketch_boruvka",
+]

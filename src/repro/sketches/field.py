@@ -1,0 +1,42 @@
+"""Hashing over a prime field for the sketching substrate.
+
+The ℓ₀-samplers need k-wise independent hash functions; we use the
+classical construction — a random degree-(k-1) polynomial over the field
+``GF(p)`` with the Mersenne prime ``p = 2^61 - 1`` — which is k-wise
+independent and cheap to evaluate.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["PRIME", "KWiseHash", "trailing_zeros"]
+
+PRIME = (1 << 61) - 1
+
+
+class KWiseHash:
+    """A k-wise independent hash function ``h: Z -> [0, PRIME)``."""
+
+    __slots__ = ("coefficients",)
+
+    def __init__(self, k: int, rng: random.Random) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        coefficients = [rng.randrange(1, PRIME)]
+        coefficients.extend(rng.randrange(PRIME) for _ in range(k - 1))
+        self.coefficients = tuple(coefficients)
+
+    def __call__(self, x: int) -> int:
+        # Horner evaluation of the random polynomial at x, mod PRIME.
+        acc = 0
+        for coefficient in self.coefficients:
+            acc = (acc * x + coefficient) % PRIME
+        return acc
+
+
+def trailing_zeros(value: int) -> int:
+    """Number of trailing zero bits (the geometric level of an item)."""
+    if value == 0:
+        return 61
+    return (value & -value).bit_length() - 1

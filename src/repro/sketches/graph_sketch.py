@@ -1,0 +1,177 @@
+"""AGM graph sketches [1] and sketch-space Borůvka.
+
+Encode the graph as one vector per vertex over the edge universe
+``{0, ..., n^2 - 1}``: edge ``{u, v}`` (``u < v``) has id ``u * n + v`` and
+appears in ``a_u`` with value ``+1`` and in ``a_v`` with value ``-1``.  For
+any vertex set ``S``, the coordinates of ``sum_{v in S} a_v`` that survive
+are exactly the edges crossing the cut ``(S, V \\ S)`` — internal edges
+cancel.  An ℓ₀-sampler of the summed sketch therefore samples an outgoing
+edge of the supernode ``S``, which is all Borůvka needs.
+
+Because one Borůvka phase *adaptively* depends on the edges sampled in the
+previous one, each phase must use fresh, independent samplers; a
+:class:`GraphSketchSpec` carries ``phases x copies`` independent seed
+packages (the extra copies boost the constant success probability of a
+single sampler).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..graph.union_find import UnionFind
+from .l0 import L0Sampler, L0SamplerSeeds
+
+__all__ = [
+    "GraphSketchSpec",
+    "VertexSketch",
+    "edge_id",
+    "edge_from_id",
+    "sketch_boruvka",
+    "components_from_sketches",
+]
+
+
+def edge_id(n: int, u: int, v: int) -> int:
+    if u > v:
+        u, v = v, u
+    return u * n + v
+
+
+def edge_from_id(n: int, identifier: int) -> tuple[int, int]:
+    return divmod(identifier, n)
+
+
+@dataclass(frozen=True)
+class GraphSketchSpec:
+    """Shared seed packages: ``seeds[phase][copy]``."""
+
+    n: int
+    seeds: tuple[tuple[L0SamplerSeeds, ...], ...]
+
+    @classmethod
+    def generate(
+        cls,
+        n: int,
+        rng: random.Random,
+        phases: int | None = None,
+        copies: int = 3,
+    ) -> "GraphSketchSpec":
+        if phases is None:
+            phases = max(1, n.bit_length())
+        universe = n * n
+        seeds = tuple(
+            tuple(L0SamplerSeeds.generate(universe, rng) for _ in range(copies))
+            for _ in range(phases)
+        )
+        return cls(n=n, seeds=seeds)
+
+    @property
+    def phases(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def copies(self) -> int:
+        return len(self.seeds[0])
+
+
+class VertexSketch:
+    """All samplers of one vertex (or one merged supernode)."""
+
+    __slots__ = ("spec", "vertex", "samplers")
+
+    def __init__(self, spec: GraphSketchSpec, vertex: int) -> None:
+        self.spec = spec
+        self.vertex = vertex
+        self.samplers = [
+            [L0Sampler(seed) for seed in phase_seeds] for phase_seeds in spec.seeds
+        ]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Account for incident edge ``{u, v}`` in this vertex's vector."""
+        if self.vertex not in (u, v):
+            raise ValueError("edge not incident to this vertex")
+        identifier = edge_id(self.spec.n, u, v)
+        sign = 1 if self.vertex == min(u, v) else -1
+        for phase in self.samplers:
+            for sampler in phase:
+                sampler.update(identifier, sign)
+
+    def merge(self, other: "VertexSketch") -> None:
+        for mine, theirs in zip(self.samplers, other.samplers):
+            for sampler_a, sampler_b in zip(mine, theirs):
+                sampler_a.merge(sampler_b)
+
+    def copy(self) -> "VertexSketch":
+        clone = VertexSketch.__new__(VertexSketch)
+        clone.spec = self.spec
+        clone.vertex = self.vertex
+        clone.samplers = [
+            [sampler.copy() for sampler in phase] for phase in self.samplers
+        ]
+        return clone
+
+    def sample_outgoing(self, phase: int) -> tuple[int, int] | None:
+        """Sample an edge leaving this (super)vertex using the given phase's
+        fresh samplers; tries the independent copies in order."""
+        for sampler in self.samplers[phase]:
+            result = sampler.sample()
+            if result is not None:
+                identifier, _ = result
+                return edge_from_id(self.spec.n, identifier)
+        return None
+
+    def word_size(self) -> int:
+        return 1 + sum(
+            sampler.word_size() for phase in self.samplers for sampler in phase
+        )
+
+
+def sketch_boruvka(
+    spec: GraphSketchSpec, sketches: dict[int, VertexSketch]
+) -> tuple[UnionFind, list[tuple[int, int]]]:
+    """Borůvka over sketches (the large machine's local computation in
+    Theorem C.1).  Returns the component structure and the sampled edges
+    that realized each union (a spanning forest of the component graph)."""
+    uf = UnionFind(sketches.keys())
+    merged: dict[int, VertexSketch] = {v: s.copy() for v, s in sketches.items()}
+    forest: list[tuple[int, int]] = []
+
+    for phase in range(spec.phases):
+        roots = {uf.find(v) for v in sketches}
+        if len(roots) <= 1:
+            break
+        proposals: list[tuple[int, int]] = []
+        for root in roots:
+            sampled = merged[root].sample_outgoing(phase)
+            if sampled is not None:
+                proposals.append(sampled)
+        if not proposals:
+            # No supernode found an outgoing edge.  Either every cut is
+            # empty (components are final) or all samplers failed, which
+            # happens with probability exponentially small in the number
+            # of copies; later phases cannot recover, so stop either way.
+            break
+        for u, v in proposals:
+            ru, rv = uf.find(u), uf.find(v)
+            if ru != rv:
+                merged[ru].merge(merged[rv])
+                uf.union(u, v)
+                keep = uf.find(u)
+                if keep != ru:
+                    merged[keep] = merged[ru]
+                forest.append((u, v))
+    return uf, forest
+
+
+def components_from_sketches(
+    spec: GraphSketchSpec, sketches: dict[int, VertexSketch]
+) -> list[int]:
+    """Canonical component labels (smallest vertex per component)."""
+    uf, _ = sketch_boruvka(spec, sketches)
+    smallest: dict[int, int] = {}
+    for v in sorted(sketches):
+        root = uf.find(v)
+        smallest.setdefault(root, v)
+    return [smallest[uf.find(v)] for v in sorted(sketches)]

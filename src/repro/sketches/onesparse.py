@@ -1,0 +1,84 @@
+"""Exact one-sparse recovery, the inner loop of the ℓ₀-sampler.
+
+A one-sparse sketch summarizes an integer vector ``x`` with three
+quantities: ``S0 = sum_i x_i``, ``S1 = sum_i i * x_i`` and the fingerprint
+``S2 = sum_i x_i * z^i mod p`` for a random evaluation point ``z``.  If
+``x`` has exactly one nonzero coordinate ``(i, v)``, then ``S0 = v``,
+``S1 = i * v`` and ``S2 = v * z^i``; the fingerprint test rejects vectors
+with more than one nonzero coordinate except with probability
+``max_index / p`` over the choice of ``z`` (Schwartz–Zippel).
+
+Sketches are *linear*: merging two sketches of vectors x and y (built with
+the same ``z``) yields the sketch of ``x + y`` — this is what lets a
+supernode's sketch be assembled from its members' sketches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .field import PRIME
+
+__all__ = ["OneSparseSketch"]
+
+
+class OneSparseSketch:
+    """Linear sketch supporting exact one-sparse recovery."""
+
+    __slots__ = ("z", "s0", "s1", "s2")
+
+    def __init__(self, z: int) -> None:
+        if not 1 <= z < PRIME:
+            raise ValueError("evaluation point out of range")
+        self.z = z
+        self.s0 = 0
+        self.s1 = 0
+        self.s2 = 0
+
+    @classmethod
+    def fresh(cls, rng: random.Random) -> "OneSparseSketch":
+        return cls(rng.randrange(1, PRIME))
+
+    def update(self, index: int, delta: int) -> None:
+        if index < 0:
+            raise ValueError("indices must be non-negative")
+        self.s0 += delta
+        self.s1 += index * delta
+        self.s2 = (self.s2 + delta * pow(self.z, index, PRIME)) % PRIME
+
+    def merge(self, other: "OneSparseSketch") -> None:
+        if other.z != self.z:
+            raise ValueError("cannot merge sketches with different seeds")
+        self.s0 += other.s0
+        self.s1 += other.s1
+        self.s2 = (self.s2 + other.s2) % PRIME
+
+    def copy(self) -> "OneSparseSketch":
+        clone = OneSparseSketch(self.z)
+        clone.s0, clone.s1, clone.s2 = self.s0, self.s1, self.s2
+        return clone
+
+    @property
+    def is_zero(self) -> bool:
+        return self.s0 == 0 and self.s1 == 0 and self.s2 == 0
+
+    def decode(self) -> tuple[int, int] | None:
+        """Return ``(index, value)`` if the sketched vector is plausibly
+        one-sparse, else ``None``."""
+        if self.is_zero or self.s0 == 0:
+            return None
+        if self.s1 % self.s0 != 0:
+            return None
+        index = self.s1 // self.s0
+        if index < 0:
+            return None
+        expected = (self.s0 % PRIME) * pow(self.z, index, PRIME) % PRIME
+        if expected != self.s2:
+            return None
+        return index, self.s0
+
+    def word_size(self) -> int:
+        return 4  # z, s0, s1, s2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OneSparseSketch(s0={self.s0}, s1={self.s1})"

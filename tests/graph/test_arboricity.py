@@ -1,0 +1,73 @@
+"""Degeneracy and arboricity bounds (related-work inequality m/n <= α <= Δ)."""
+
+import random
+
+import pytest
+
+from repro.graph import Graph, generators
+from repro.graph.arboricity import arboricity_bounds, degeneracy, degeneracy_ordering
+
+
+@pytest.fixture
+def rng():
+    return random.Random(141)
+
+
+def test_tree_degeneracy_is_one(rng):
+    g = generators.random_tree(40, rng)
+    assert degeneracy(g) == 1
+
+
+def test_cycle_degeneracy_is_two():
+    g = generators.cycle_graph(12)
+    assert degeneracy(g) == 2
+
+
+def test_complete_graph_degeneracy():
+    g = generators.complete_graph(8)
+    assert degeneracy(g) == 7
+
+
+def test_edgeless_graph():
+    g = Graph(5, [])
+    assert degeneracy(g) == 0
+
+
+def test_ordering_is_a_permutation(rng):
+    g = generators.random_connected_graph(30, 90, rng)
+    _, order = degeneracy_ordering(g)
+    assert sorted(order) == list(range(g.n))
+
+
+def test_ordering_certifies_degeneracy(rng):
+    """Every vertex has at most `degeneracy` neighbors later in the
+    elimination order — the defining property."""
+    g = generators.random_connected_graph(30, 120, rng)
+    d, order = degeneracy_ordering(g)
+    position = {v: i for i, v in enumerate(order)}
+    adjacency = g.adjacency()
+    for v in range(g.n):
+        later = sum(1 for u, _ in adjacency[v] if position[u] > position[v])
+        assert later <= d
+
+
+def test_bounds_bracket_density_and_delta(rng):
+    """The paper's chain: m/n <= alpha <= Delta, with alpha in our
+    [lower, upper] bracket."""
+    g = generators.preferential_attachment_graph(100, 3, rng)
+    lower, upper = arboricity_bounds(g)
+    assert lower <= upper
+    assert upper <= g.max_degree
+    assert lower >= g.m / g.n - 1e-9 or lower > 0
+
+
+def test_bounds_on_complete_graph():
+    g = generators.complete_graph(10)
+    lower, upper = arboricity_bounds(g)
+    # alpha(K10) = 5; bracket must contain it.
+    assert lower <= 5 <= upper
+
+
+def test_sparse_graph_small_degeneracy(rng):
+    g = generators.random_connected_graph(100, 130, rng)
+    assert degeneracy(g) <= 6

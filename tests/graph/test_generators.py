@@ -1,0 +1,127 @@
+"""Workload generators produce what they promise."""
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.traversal import connected_components, is_connected
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+def test_gnm_exact_edge_count(rng):
+    g = generators.gnm_random_graph(30, 100, rng)
+    assert g.n == 30 and g.m == 100
+    assert len(g.edge_set()) == 100  # simple
+
+
+def test_gnm_dense_case(rng):
+    g = generators.gnm_random_graph(10, 40, rng)  # > half of max
+    assert g.m == 40
+
+
+def test_gnm_too_many_edges_rejected(rng):
+    with pytest.raises(ValueError):
+        generators.gnm_random_graph(4, 7, rng)
+
+
+def test_random_tree_is_spanning_tree(rng):
+    g = generators.random_tree(40, rng)
+    assert g.m == 39
+    assert is_connected(g)
+
+
+def test_random_connected_graph(rng):
+    g = generators.random_connected_graph(25, 60, rng)
+    assert g.m == 60
+    assert is_connected(g)
+
+
+def test_random_connected_needs_enough_edges(rng):
+    with pytest.raises(ValueError):
+        generators.random_connected_graph(10, 8, rng)
+
+
+def test_cycle_graph_degrees(rng):
+    g = generators.cycle_graph(12, rng)
+    assert g.m == 12
+    assert all(d == 2 for d in g.degrees())
+    assert connected_components(g).num_components == 1
+
+
+def test_two_cycles_structure(rng):
+    g = generators.two_cycles(13, rng)
+    assert all(d == 2 for d in g.degrees())
+    assert connected_components(g).num_components == 2
+
+
+def test_two_cycles_needs_six_vertices(rng):
+    with pytest.raises(ValueError):
+        generators.two_cycles(5, rng)
+
+
+def test_one_or_two_cycles_is_honest(rng):
+    for _ in range(6):
+        g, cycles = generators.one_or_two_cycles(20, rng)
+        assert connected_components(g).num_components == cycles
+
+
+def test_complete_graph():
+    g = generators.complete_graph(6)
+    assert g.m == 15
+    assert all(d == 5 for d in g.degrees())
+
+
+def test_grid_graph_shape():
+    g = generators.grid_graph(3, 4)
+    assert g.n == 12
+    assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert is_connected(g)
+
+
+def test_preferential_attachment_is_skewed(rng):
+    g = generators.preferential_attachment_graph(150, 3, rng)
+    degrees = sorted(g.degrees())
+    assert is_connected(g)
+    assert degrees[-1] > 3 * degrees[len(degrees) // 2]  # heavy tail
+
+
+def test_preferential_attachment_validation(rng):
+    with pytest.raises(ValueError):
+        generators.preferential_attachment_graph(3, 3, rng)
+
+
+def test_planted_components_exact_count(rng):
+    g = generators.planted_components_graph(50, 5, 30, rng)
+    assert connected_components(g).num_components == 5
+
+
+def test_planted_cut_value(rng):
+    from repro.local.mincut import min_cut_value
+
+    g = generators.planted_cut_graph(30, 2, 4.0, rng)
+    assert is_connected(g)
+    # The planted cut gives an upper bound; the true min cut is at most 2.
+    assert min_cut_value(g.n, g.edges) <= 2
+
+
+def test_random_bipartite_sides(rng):
+    g = generators.random_bipartite_graph(8, 12, 40, rng)
+    assert g.n == 20 and g.m == 40
+    for u, v in g.edges:
+        assert (u < 8) != (v < 8)
+
+
+def test_weighted_helper_assigns_unique_weights(rng):
+    g = generators.weighted(generators.cycle_graph(10), rng)
+    assert sorted(e[2] for e in g.edges) == list(range(1, 11))
+
+
+def test_generators_are_reproducible():
+    a = generators.gnm_random_graph(20, 50, random.Random(7))
+    b = generators.gnm_random_graph(20, 50, random.Random(7))
+    assert a.edges == b.edges

@@ -1,0 +1,87 @@
+"""BFS, Dijkstra, components, diameter."""
+
+import math
+import random
+
+from repro.graph import Graph, generators
+from repro.graph.traversal import (
+    all_pairs_distances,
+    bfs_distances,
+    component_labels,
+    connected_components,
+    dijkstra,
+    graph_diameter,
+    is_connected,
+    single_source_distances,
+)
+
+
+def path_graph(n: int, weights=None) -> Graph:
+    if weights is None:
+        return Graph(n, [(i, i + 1) for i in range(n - 1)])
+    return Graph(n, [(i, i + 1, w) for i, w in zip(range(n - 1), weights)])
+
+
+def test_bfs_on_path():
+    g = path_graph(5)
+    assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+    assert bfs_distances(g, 2) == [2, 1, 0, 1, 2]
+
+
+def test_bfs_unreachable_is_inf():
+    g = Graph(4, [(0, 1)])
+    dist = bfs_distances(g, 0)
+    assert dist[1] == 1
+    assert math.isinf(dist[2]) and math.isinf(dist[3])
+
+
+def test_dijkstra_prefers_lighter_detour():
+    g = Graph(3, [(0, 1, 10), (0, 2, 1), (1, 2, 2)])
+    assert dijkstra(g, 0) == [0, 3, 1]
+
+
+def test_dijkstra_matches_bfs_when_weights_are_one():
+    rng = random.Random(1)
+    base = generators.random_connected_graph(25, 60, rng)
+    weighted = Graph(base.n, [(u, v, 1) for u, v in base.edges])
+    for s in (0, 7, 19):
+        assert dijkstra(weighted, s) == bfs_distances(base, s)
+
+
+def test_single_source_dispatches_on_weightedness():
+    g = path_graph(4)
+    gw = path_graph(4, weights=[5, 5, 5])
+    assert single_source_distances(g, 0)[3] == 3
+    assert single_source_distances(gw, 0)[3] == 15
+
+
+def test_all_pairs_is_symmetric():
+    rng = random.Random(2)
+    g = generators.random_connected_graph(15, 30, rng)
+    dist = all_pairs_distances(g)
+    for u in range(g.n):
+        for v in range(g.n):
+            assert dist[u][v] == dist[v][u]
+
+
+def test_connected_components_counts():
+    g = Graph(6, [(0, 1), (2, 3)])
+    assert connected_components(g).num_components == 4  # {0,1},{2,3},{4},{5}
+    assert not is_connected(g)
+    assert is_connected(path_graph(4))
+
+
+def test_component_labels_are_canonical_minimums():
+    g = Graph(6, [(4, 5), (1, 2)])
+    assert component_labels(g) == [0, 1, 1, 3, 4, 4]
+
+
+def test_diameter_of_path_and_cycle():
+    assert graph_diameter(path_graph(6)) == 5
+    rng = random.Random(3)
+    cycle = generators.cycle_graph(8)
+    assert graph_diameter(cycle) == 4
+
+
+def test_diameter_disconnected_is_inf():
+    assert math.isinf(graph_diameter(Graph(3, [(0, 1)])))

@@ -1,0 +1,133 @@
+"""Validators accept correct certificates and reject broken ones."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph import Graph, generators
+from repro.graph.validation import (
+    cut_value,
+    is_independent_set,
+    is_matching,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_coloring,
+    is_spanning_forest,
+    is_spanning_tree,
+    spanner_stretch,
+    verify_components,
+    verify_mst,
+    verify_spanner,
+)
+from repro.local.mst import kruskal
+
+
+@pytest.fixture
+def rng():
+    return random.Random(4)
+
+
+def test_spanning_tree_accepts_tree(rng):
+    g = generators.random_connected_graph(12, 25, rng)
+    tree = kruskal(g.with_unique_weights(rng))
+    assert is_spanning_tree(g, tree)
+
+
+def test_spanning_tree_rejects_cycle_and_short(rng):
+    g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    assert not is_spanning_tree(g, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    assert not is_spanning_tree(g, [(0, 1), (1, 2)])
+
+
+def test_spanning_forest_respects_components():
+    g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+    assert is_spanning_forest(g, [(0, 1), (1, 2), (3, 4)])
+    assert not is_spanning_forest(g, [(0, 1), (3, 4)])  # misses vertex 2's tree
+
+
+def test_spanning_forest_rejects_non_edges():
+    g = Graph(4, [(0, 1), (2, 3)])
+    assert not is_spanning_forest(g, [(0, 2), (1, 3)])
+
+
+def test_verify_mst_accepts_and_rejects(rng):
+    g = generators.random_connected_graph(15, 40, rng).with_unique_weights(rng)
+    mst = kruskal(g)
+    assert verify_mst(g, mst)
+    # Swap one MST edge for a non-MST edge: same size, wrong weight.
+    non_tree = next(e for e in g.edges if (e[0], e[1]) not in {(a, b) for a, b, _ in mst})
+    broken = mst[:-1] + [non_tree]
+    assert not verify_mst(g, broken)
+
+
+def test_spanner_stretch_of_full_graph_is_one(rng):
+    g = generators.random_connected_graph(12, 30, rng)
+    assert spanner_stretch(g, g.edges) == 1.0
+
+
+def test_spanner_stretch_of_tree():
+    g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    # Dropping (0,3) forces the 3-hop detour.
+    assert spanner_stretch(g, [(0, 1), (1, 2), (2, 3)]) == 3.0
+
+
+def test_spanner_stretch_disconnected_is_inf():
+    g = Graph(3, [(0, 1), (1, 2)])
+    assert math.isinf(spanner_stretch(g, [(0, 1)]))
+
+
+def test_verify_spanner_checks_subgraph(rng):
+    g = generators.random_connected_graph(12, 30, rng)
+    assert verify_spanner(g, g.edges, stretch=1)
+    # Using a non-edge disqualifies the certificate even with huge stretch.
+    fake = next(
+        (u, v)
+        for u in range(g.n)
+        for v in range(u + 1, g.n)
+        if (u, v) not in g.edge_set()
+    )
+    assert not verify_spanner(g, list(g.edges) + [fake], stretch=100)
+
+
+def test_matching_validators():
+    g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    assert is_matching(g, [(0, 1), (2, 3)])
+    assert not is_matching(g, [(0, 1), (1, 2)])  # shares vertex 1
+    assert not is_matching(g, [(0, 2)])  # not an edge
+    assert is_maximal_matching(g, [(0, 1), (2, 3)])
+    assert not is_maximal_matching(g, [(1, 2)])  # (3,4) still addable
+
+
+def test_independent_set_validators():
+    g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    assert is_independent_set(g, [0, 2, 4])
+    assert not is_independent_set(g, [0, 1])
+    assert is_maximal_independent_set(g, [0, 2, 4])
+    assert not is_maximal_independent_set(g, [1])  # 3 or 4 still addable
+    assert not is_independent_set(g, [7])  # out of range
+
+
+def test_coloring_validator():
+    g = Graph(3, [(0, 1), (1, 2)])
+    assert is_proper_coloring(g, [0, 1, 0])
+    assert not is_proper_coloring(g, [0, 0, 1])
+    assert not is_proper_coloring(g, [0, 1])  # wrong length
+    assert not is_proper_coloring(g, [0, 5, 0], max_colors=3)
+
+
+def test_cut_value_weighted_and_unweighted():
+    g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    assert cut_value(g, {0, 1}) == 1
+    gw = Graph(4, [(0, 1, 5), (1, 2, 7), (2, 3, 1)])
+    assert cut_value(gw, {0, 1}) == 7
+
+
+def test_verify_components(rng):
+    g = generators.planted_components_graph(20, 3, 10, rng)
+    from repro.graph.traversal import component_labels
+
+    assert verify_components(g, component_labels(g))
+    wrong = list(component_labels(g))
+    wrong[-1] = (wrong[-1] + 1) % g.n
+    assert not verify_components(g, wrong)

@@ -1,0 +1,104 @@
+"""Cross-regime integration: the separations the paper is about."""
+
+import random
+
+import pytest
+
+from repro.baselines import sublinear_boruvka_mst, sublinear_connectivity
+from repro.core import (
+    heterogeneous_connectivity,
+    heterogeneous_mst,
+    solve_one_vs_two_cycles,
+)
+from repro.graph import generators
+from repro.graph.validation import verify_mst
+from repro.mpc import Cluster, ModelConfig
+
+
+@pytest.fixture
+def rng():
+    return random.Random(161)
+
+
+def test_cycle_problem_separation(rng):
+    """The paper's starting observation: 1-vs-2 cycles is 1 round with a
+    large machine, but the sublinear baseline's rounds grow with n."""
+    small = generators.cycle_graph(32, rng)
+    big = generators.cycle_graph(256, rng)
+    assert solve_one_vs_two_cycles(small, rng=random.Random(1)).rounds == 1
+    assert solve_one_vs_two_cycles(big, rng=random.Random(2)).rounds == 1
+    sub_small = sublinear_connectivity(small, rng=random.Random(3)).rounds
+    sub_big = sublinear_connectivity(big, rng=random.Random(4)).rounds
+    assert sub_big > sub_small  # log n growth
+
+
+def test_connectivity_rounds_flat_vs_growing(rng):
+    """Cycles are the hard instance for merging-style algorithms: the
+    sublinear baseline's rounds grow with n while the sketch algorithm's
+    stay flat.  (On tree-like inputs Borůvka merging collapses whole
+    chains per iteration, which is why the conjectured hardness is stated
+    for cycles in the first place.)"""
+    het_rounds = []
+    sub_rounds = []
+    for n in (32, 256):
+        g = generators.cycle_graph(n, rng)
+        het_rounds.append(heterogeneous_connectivity(g, rng=random.Random(n)).rounds)
+        sub_rounds.append(sublinear_connectivity(g, rng=random.Random(n)).rounds)
+    # O(1): flat up to the (bounded) broadcast-tree depth difference.
+    assert abs(het_rounds[1] - het_rounds[0]) <= 2
+    assert max(het_rounds) <= 8
+    assert sub_rounds[1] > sub_rounds[0]
+
+
+def test_mst_step_counter_separation(rng):
+    """Heterogeneous MST's phase count is log log(m/n); sublinear Borůvka's
+    is log n — compare the *scaling quantities*, not the constants."""
+    n = 64
+    dense = generators.random_connected_graph(n, n * 24, rng).with_unique_weights(rng)
+    het = heterogeneous_mst(dense, rng=random.Random(5))
+    sub = sublinear_boruvka_mst(dense, rng=random.Random(6))
+    assert verify_mst(dense, het.edges) and verify_mst(dense, sub.edges)
+    assert het.boruvka_steps < sub.iterations
+
+
+def test_same_mst_from_both_regimes(rng):
+    g = generators.random_connected_graph(40, 400, rng).with_unique_weights(rng)
+    het = heterogeneous_mst(g, rng=random.Random(7))
+    sub = sublinear_boruvka_mst(g, rng=random.Random(8))
+    assert sorted(het.edges) == sorted(sub.edges)  # unique MST
+
+
+def test_gamma_affects_machine_count_not_correctness(rng):
+    g = generators.random_connected_graph(40, 300, rng).with_unique_weights(rng)
+    for gamma in (0.3, 0.5, 0.7):
+        config = ModelConfig.heterogeneous(n=g.n, m=g.m, gamma=gamma)
+        result = heterogeneous_mst(g, config=config, rng=random.Random(int(gamma * 10)))
+        assert verify_mst(g, result.edges)
+
+
+def test_general_model_with_several_large_machines(rng):
+    """Section 6's (S_sub, S_lin, S_sup) model: extra near-linear machines
+    build and run (our algorithms use large machine #0)."""
+    g = generators.random_connected_graph(30, 150, rng).with_unique_weights(rng)
+    config = ModelConfig.general(n=g.n, m=g.m, s_sub=g.m, s_lin=3 * g.n)
+    cluster = Cluster(config)
+    assert len(cluster.larges) == 3
+    result = heterogeneous_mst(g, config=config, rng=random.Random(9))
+    assert verify_mst(g, result.edges)
+
+
+def test_general_model_matches_paper_special_case():
+    """general(n, m, s_sub=m, s_lin=n) == the paper's Heterogeneous MPC."""
+    paper = ModelConfig.heterogeneous(n=100, m=1000)
+    general = ModelConfig.general(n=100, m=1000, s_sub=1000, s_lin=100)
+    assert general.num_small == paper.num_small
+    assert general.num_large == paper.num_large == 1
+    assert general.large_capacity == paper.large_capacity
+
+
+def test_superlinear_general_model(rng):
+    config = ModelConfig.general(n=50, m=500, s_sub=500, s_sup=50**1.5 * 2)
+    assert config.large_memory_exponent == 1.5
+    g = generators.random_connected_graph(50, 500, rng).with_unique_weights(rng)
+    result = heterogeneous_mst(g, config=config, rng=random.Random(10))
+    assert verify_mst(g, result.edges)

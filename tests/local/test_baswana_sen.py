@@ -1,0 +1,75 @@
+"""Classic Baswana–Sen (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.validation import spanner_stretch, verify_spanner
+from repro.local.baswana_sen import baswana_sen
+
+
+@pytest.fixture
+def rng():
+    return random.Random(23)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_stretch_bound_holds(rng, k):
+    g = generators.random_connected_graph(40, 250, rng)
+    run = baswana_sen(g, k, rng)
+    assert verify_spanner(g, run.spanner, stretch=2 * k - 1)
+
+
+def test_k_equals_one_keeps_every_edge(rng):
+    """A 1-spanner must preserve all distances exactly: with k=1, C_1 is
+    empty, every vertex is removed at step 1, and one edge per neighboring
+    cluster = every edge (clusters are singletons)."""
+    g = generators.random_connected_graph(20, 60, rng)
+    run = baswana_sen(g, 1, rng)
+    assert run.spanner == g.edge_set()
+
+
+def test_expected_size_scaling(rng):
+    """k=2 on a dense graph: size O(k n^{1.5}) — far below m."""
+    n = 80
+    g = generators.gnm_random_graph(n, 2000, rng)
+    sizes = [len(baswana_sen(g, 2, random.Random(s)).spanner) for s in range(5)]
+    average = sum(sizes) / len(sizes)
+    assert average <= 6 * 2 * n**1.5  # generous constant
+
+
+def test_edge_breakdown_partitions_spanner(rng):
+    g = generators.random_connected_graph(30, 200, rng)
+    run = baswana_sen(g, 3, rng)
+    assert run.spanner == run.reclustered_edges | run.removal_edges
+
+
+def test_centers_start_as_identity(rng):
+    g = generators.random_connected_graph(10, 20, rng)
+    run = baswana_sen(g, 2, rng)
+    assert run.centers[0] == list(range(10))
+
+
+def test_all_vertices_eventually_unclustered(rng):
+    g = generators.random_connected_graph(25, 80, rng)
+    run = baswana_sen(g, 3, rng)
+    assert all(center is None for center in run.centers[-1])
+
+
+def test_invalid_k_rejected(rng):
+    g = generators.random_connected_graph(10, 20, rng)
+    with pytest.raises(ValueError):
+        baswana_sen(g, 0, rng)
+
+
+def test_spanner_edges_are_graph_edges(rng):
+    g = generators.random_connected_graph(30, 120, rng)
+    run = baswana_sen(g, 2, rng)
+    assert run.spanner <= g.edge_set()
+
+
+def test_disconnected_graph_spanner_preserves_infinities(rng):
+    g = generators.planted_components_graph(30, 3, 40, rng)
+    run = baswana_sen(g, 2, rng)
+    assert spanner_stretch(g, run.spanner) <= 3

@@ -1,0 +1,118 @@
+"""Cluster construction, exchange semantics, capacity accounting."""
+
+import random
+
+import pytest
+
+from repro.mpc import (
+    Cluster,
+    CommunicationLimitExceeded,
+    ModelConfig,
+    ProtocolError,
+)
+
+
+def make_cluster(strict: bool = False, **kw) -> Cluster:
+    config = ModelConfig.heterogeneous(n=64, m=256, strict=strict, **kw)
+    return Cluster(config, rng=random.Random(0))
+
+
+def test_machine_counts_match_config():
+    cluster = make_cluster()
+    assert len(cluster.smalls) == cluster.config.num_small
+    assert len(cluster.larges) == 1
+    assert cluster.large.is_large
+
+
+def test_sublinear_cluster_has_no_large():
+    config = ModelConfig.sublinear(n=64, m=256)
+    cluster = Cluster(config)
+    assert not cluster.has_large
+    with pytest.raises(ProtocolError):
+        _ = cluster.large
+
+
+def test_exchange_delivers_messages_and_counts_a_round():
+    cluster = make_cluster()
+    inboxes = cluster.exchange([(0, 1, "hello"), (0, 2, (1, 2))], note="t")
+    assert inboxes[1] == ["hello"]
+    assert inboxes[2] == [(1, 2)]
+    assert cluster.ledger.rounds == 1
+
+
+def test_exchange_to_unknown_machine_raises():
+    cluster = make_cluster()
+    with pytest.raises(ProtocolError):
+        cluster.exchange([(0, 10**6, "x")])
+
+
+def test_exchange_records_volumes():
+    cluster = make_cluster()
+    cluster.exchange([(0, 1, (1, 2, 3)), (2, 1, (4, 5, 6))])
+    record = cluster.ledger.records[-1]
+    assert record.total_words == 6
+    assert record.max_received == 6
+    assert record.max_sent == 3
+
+
+def test_strict_mode_raises_on_capacity_violation():
+    cluster = make_cluster(strict=True)
+    capacity = cluster.smalls[1].capacity
+    payload = [0] * (capacity + 1)
+    with pytest.raises(CommunicationLimitExceeded):
+        cluster.exchange([(0, 1, payload)])
+
+
+def test_recording_mode_records_violation_instead():
+    cluster = make_cluster(strict=False)
+    capacity = cluster.smalls[1].capacity
+    cluster.exchange([(0, 1, [0] * (capacity + 1))])
+    assert len(cluster.ledger.violations) >= 1
+
+
+def test_gather_concentrates_items():
+    cluster = make_cluster()
+    large = cluster.large.machine_id
+    got = cluster.gather(large, {0: [1, 2], 1: [3]}, note="g")
+    assert sorted(got) == [1, 2, 3]
+    assert cluster.ledger.rounds == 1
+
+
+def test_scatter_distributes_items():
+    cluster = make_cluster()
+    large = cluster.large.machine_id
+    inboxes = cluster.scatter(large, {0: ["a"], 1: ["b", "c"]})
+    assert inboxes[0] == ["a"]
+    assert sorted(inboxes[1]) == ["b", "c"]
+
+
+def test_distribute_edges_places_everything_and_charges_no_rounds():
+    cluster = make_cluster()
+    edges = [(i, i + 1) for i in range(50)]
+    cluster.distribute_edges(edges, name="e")
+    assert sorted(cluster.all_items("e")) == sorted(edges)
+    assert cluster.ledger.rounds == 0
+
+
+def test_distribute_edges_is_balanced():
+    cluster = make_cluster()
+    edges = [(i, i + 1) for i in range(60)]
+    cluster.distribute_edges(edges, name="e")
+    counts = [len(m.get("e", [])) for m in cluster.smalls]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_map_small_applies_local_transform():
+    cluster = make_cluster()
+    cluster.distribute_edges([(1, 2), (3, 4), (5, 6)], name="e")
+    rounds_before = cluster.ledger.rounds
+    cluster.map_small("e", lambda machine, items: [(v, u) for u, v in items])
+    assert cluster.ledger.rounds == rounds_before  # local work is free
+    assert sorted(cluster.all_items("e")) == [(2, 1), (4, 3), (6, 5)]
+
+
+def test_memory_high_water_is_recorded_after_rounds():
+    cluster = make_cluster()
+    cluster.distribute_edges([(1, 2)] * 10, name="e")
+    cluster.exchange([(0, 1, "ping")])
+    assert max(cluster.ledger.memory_high_water.values()) > 0

@@ -1,0 +1,60 @@
+"""Word-size accounting."""
+
+import pytest
+
+from repro.mpc.words import word_size
+
+
+def test_scalars_cost_one_word():
+    assert word_size(0) == 1
+    assert word_size(10**18) == 1
+    assert word_size(-5) == 1
+    assert word_size(3.14) == 1
+    assert word_size(True) == 1
+    assert word_size(None) == 1
+
+
+def test_edge_tuple_costs_three_words():
+    assert word_size((1, 2, 97)) == 3
+
+
+def test_unweighted_edge_costs_two_words():
+    assert word_size((4, 7)) == 2
+
+
+def test_containers_sum_their_elements():
+    assert word_size([(1, 2), (3, 4)]) == 4
+    assert word_size({1: 2, 3: 4}) == 4
+    assert word_size({1, 2, 3}) == 3
+    assert word_size(()) == 0
+
+
+def test_nested_containers():
+    assert word_size([(1, (2, 3)), [4]]) == 4
+
+
+def test_custom_word_size_protocol():
+    class Sized:
+        def word_size(self) -> int:
+            return 42
+
+    assert word_size(Sized()) == 42
+    assert word_size([Sized(), Sized()]) == 84
+
+
+def test_strings_are_charged_per_eight_chars():
+    assert word_size("") == 1
+    assert word_size("a" * 8) == 2
+    assert word_size("a" * 17) == 3
+
+
+def test_unknown_types_raise():
+    with pytest.raises(TypeError):
+        word_size(object())
+
+
+def test_flow_label_word_size_matches_protocol():
+    from repro.labeling import FlowLabel
+
+    label = FlowLabel(entries=((1, 5.0), (2, 3.0)))
+    assert word_size(label) == 1 + 2 * 2

@@ -1,0 +1,75 @@
+"""Tree broadcast and converge-cast."""
+
+import math
+import random
+
+import pytest
+
+from repro.mpc import Cluster, ModelConfig
+from repro.primitives.broadcast import broadcast, converge_cast
+
+
+def make_cluster(n=64, m=512, gamma=0.5) -> Cluster:
+    return Cluster(ModelConfig.heterogeneous(n=n, m=m, gamma=gamma), rng=random.Random(0))
+
+
+def test_broadcast_reaches_everyone_in_log_fanout_rounds():
+    cluster = make_cluster()
+    rounds = broadcast(cluster, cluster.large.machine_id, "seed", cluster.small_ids)
+    k = len(cluster.smalls)
+    fanout = cluster.config.tree_fanout
+    assert rounds <= math.ceil(math.log(k + 1, fanout)) + 1
+    assert cluster.ledger.rounds == rounds
+
+
+def test_broadcast_to_empty_list_is_free():
+    cluster = make_cluster()
+    assert broadcast(cluster, cluster.large.machine_id, "x", []) == 0
+    assert cluster.ledger.rounds == 0
+
+
+def test_broadcast_excludes_source():
+    cluster = make_cluster()
+    rounds = broadcast(cluster, 0, "v", [0])
+    assert rounds == 0
+
+
+def test_broadcast_depth_grows_with_smaller_fanout():
+    wide = make_cluster(n=256, m=4096, gamma=0.7)
+    narrow = make_cluster(n=256, m=4096, gamma=0.2)
+    rounds_wide = broadcast(wide, wide.large.machine_id, "v", wide.small_ids)
+    rounds_narrow = broadcast(narrow, narrow.large.machine_id, "v", narrow.small_ids)
+    assert rounds_narrow >= rounds_wide
+
+
+def test_converge_cast_collects_all_items():
+    cluster = make_cluster()
+    items = {mid: [mid] for mid in cluster.small_ids}
+    result = converge_cast(cluster, items, cluster.large.machine_id)
+    assert sorted(result) == sorted(cluster.small_ids)
+
+
+def test_converge_cast_applies_combine_at_levels():
+    cluster = make_cluster()
+    items = {mid: [1, 1] for mid in cluster.small_ids}
+
+    def summed(buffer):
+        return [sum(buffer)]
+
+    result = converge_cast(
+        cluster, items, cluster.large.machine_id, combine=summed
+    )
+    assert result == [2 * len(cluster.smalls)]
+
+
+def test_converge_cast_empty_input():
+    cluster = make_cluster()
+    assert converge_cast(cluster, {}, cluster.large.machine_id) == []
+    assert cluster.ledger.rounds == 0
+
+
+def test_converge_cast_items_already_at_destination():
+    cluster = make_cluster()
+    dst = cluster.large.machine_id
+    result = converge_cast(cluster, {dst: ["keep"], 0: ["move"]}, dst)
+    assert sorted(result) == ["keep", "move"]

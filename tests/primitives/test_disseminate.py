@@ -1,0 +1,74 @@
+"""Claim 3 — constant-round dissemination."""
+
+import math
+import random
+
+from repro.mpc import Cluster, ModelConfig
+from repro.primitives.disseminate import disseminate, holders_by_key
+
+
+def make_cluster(n=64, m=512) -> Cluster:
+    return Cluster(ModelConfig.heterogeneous(n=n, m=m), rng=random.Random(4))
+
+
+def test_every_holder_learns_its_value():
+    cluster = make_cluster()
+    holders = {
+        "a": cluster.small_ids[:7],
+        "b": cluster.small_ids[5:9],
+    }
+    received = disseminate(cluster, {"a": 1, "b": 2}, holders)
+    for mid in holders["a"]:
+        assert received[mid]["a"] == 1
+    for mid in holders["b"]:
+        assert received[mid]["b"] == 2
+
+
+def test_machines_not_holding_a_key_do_not_receive_it():
+    cluster = make_cluster()
+    received = disseminate(cluster, {"a": 1}, {"a": cluster.small_ids[:2]})
+    for mid in cluster.small_ids[2:]:
+        assert "a" not in received.get(mid, {})
+
+
+def test_rounds_logarithmic_in_holder_count():
+    cluster = make_cluster()
+    holders = {"k": cluster.small_ids}
+    disseminate(cluster, {"k": 0}, holders)
+    fanout = cluster.config.tree_fanout
+    depth = math.ceil(math.log(len(cluster.smalls) + 1, fanout)) + 1
+    assert cluster.ledger.rounds <= depth + 1
+
+
+def test_value_with_no_holders_is_dropped():
+    cluster = make_cluster()
+    received = disseminate(cluster, {"ghost": 9}, {})
+    assert received == {}
+    assert cluster.ledger.rounds == 0
+
+
+def test_all_trees_advance_in_lockstep():
+    """Many keys disseminate in the same rounds, not sequentially."""
+    cluster = make_cluster()
+    holders = {f"k{i}": cluster.small_ids[: 5 + i] for i in range(10)}
+    values = {f"k{i}": i for i in range(10)}
+    disseminate(cluster, values, holders)
+    assert cluster.ledger.rounds <= 4
+
+
+def test_holders_by_key_scans_stores():
+    cluster = make_cluster()
+    cluster.smalls[0].put("edges", [(1, 2), (2, 3)])
+    cluster.smalls[1].put("edges", [(2, 4)])
+    holders = holders_by_key(cluster, "edges", keys_of_item=lambda e: (e[0], e[1]))
+    assert holders[2] == [cluster.smalls[0].machine_id, cluster.smalls[1].machine_id]
+    assert holders[1] == [cluster.smalls[0].machine_id]
+
+
+def test_custom_source_machine():
+    config = ModelConfig.sublinear(n=64, m=512)
+    cluster = Cluster(config, rng=random.Random(1))
+    holders = {"a": cluster.small_ids[1:6]}
+    received = disseminate(cluster, {"a": 42}, holders, src=cluster.small_ids[0])
+    for mid in holders["a"]:
+        assert received[mid]["a"] == 42

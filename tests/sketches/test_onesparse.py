@@ -1,0 +1,121 @@
+"""One-sparse recovery: exactness, linearity, rejection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import OneSparseSketch
+
+
+def fresh(seed=0):
+    return OneSparseSketch.fresh(random.Random(seed))
+
+
+def test_recovers_single_update():
+    sketch = fresh()
+    sketch.update(17, 3)
+    assert sketch.decode() == (17, 3)
+
+
+def test_recovers_after_cancellation():
+    sketch = fresh()
+    sketch.update(5, 1)
+    sketch.update(9, 1)
+    sketch.update(9, -1)
+    assert sketch.decode() == (5, 1)
+
+
+def test_zero_vector_decodes_none():
+    sketch = fresh()
+    assert sketch.is_zero
+    assert sketch.decode() is None
+    sketch.update(3, 4)
+    sketch.update(3, -4)
+    assert sketch.is_zero
+
+
+def test_two_sparse_rejected():
+    rejections = 0
+    for seed in range(30):
+        sketch = fresh(seed)
+        sketch.update(1, 1)
+        sketch.update(2, 1)
+        if sketch.decode() is None:
+            rejections += 1
+    assert rejections == 30  # Schwartz–Zippel failure is ~2^-60
+
+
+def test_negative_value_recovery():
+    sketch = fresh()
+    sketch.update(7, -2)
+    assert sketch.decode() == (7, -2)
+
+
+def test_merge_is_addition():
+    a, b = fresh(1), OneSparseSketch(fresh(1).z)
+    # Same z is required; construct b with a's seed.
+    a2 = a.copy()
+    a.update(4, 1)
+    a2.update(4, 2)
+    a.merge(a2)
+    assert a.decode() == (4, 3)
+
+
+def test_merge_different_seeds_rejected():
+    a, b = fresh(1), fresh(2)
+    if a.z != b.z:
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+def test_copy_is_independent():
+    a = fresh()
+    a.update(1, 1)
+    b = a.copy()
+    b.update(2, 1)
+    assert a.decode() == (1, 1)
+    assert b.decode() is None or b.decode() not in ((1, 1),)
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError):
+        fresh().update(-1, 1)
+
+
+def test_word_size_is_constant():
+    assert fresh().word_size() == 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    index=st.integers(min_value=0, max_value=10**6),
+    value=st.integers(min_value=-100, max_value=100).filter(lambda v: v != 0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_one_sparse_recovery_property(index, value, seed):
+    sketch = fresh(seed)
+    sketch.update(index, value)
+    assert sketch.decode() == (index, value)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_linearity_property(seed):
+    """sketch(x) + sketch(y) == sketch(x + y) for random sparse vectors."""
+    rng = random.Random(seed)
+    base = fresh(seed)
+    a, b = base.copy(), base.copy()
+    combined = {}
+    for _ in range(5):
+        index, delta = rng.randrange(100), rng.choice((-2, -1, 1, 2))
+        target = rng.choice((a, b))
+        target.update(index, delta)
+        combined[index] = combined.get(index, 0) + delta
+    a.merge(b)
+    direct = base.copy()
+    for index, delta in combined.items():
+        if delta:
+            direct.update(index, delta)
+    assert a.s0 == direct.s0 and a.s1 == direct.s1 and a.s2 == direct.s2

@@ -1,0 +1,90 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, argv):
+    code = main(argv)
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_mst_command(capsys):
+    out = run(capsys, ["mst", "--n", "40", "--m", "200", "--seed", "1"])
+    assert "verified=True" in out
+    assert "rounds" in out
+
+
+def test_mst_with_superlinear_f(capsys):
+    out = run(capsys, ["mst", "--n", "40", "--m", "400", "--f", "1.0"])
+    assert "boruvka steps 0" in out
+
+
+def test_spanner_command(capsys):
+    out = run(capsys, ["spanner", "--n", "40", "--m", "300", "--k", "2"])
+    assert "stretch" in out and "<= 11" in out
+
+
+def test_spanner_weighted(capsys):
+    out = run(capsys, ["spanner", "--n", "30", "--m", "120", "--k", "2", "--weighted"])
+    assert "<= 22" in out
+
+
+def test_apsp_command(capsys):
+    out = run(capsys, ["apsp", "--n", "30", "--m", "100"])
+    assert "APSP oracle" in out
+
+
+def test_matching_command(capsys):
+    out = run(capsys, ["matching", "--n", "40", "--m", "200"])
+    assert "maximal=True" in out
+
+
+def test_matching_filtering(capsys):
+    out = run(capsys, ["matching", "--n", "40", "--m", "400", "--f", "0.5"])
+    assert "filtering levels" in out
+    assert "maximal=True" in out
+
+
+def test_connectivity_command(capsys):
+    out = run(capsys, ["connectivity", "--n", "40", "--m", "60", "--components", "4"])
+    assert "components 4 (planted 4)" in out
+
+
+def test_mis_command(capsys):
+    out = run(capsys, ["mis", "--n", "40", "--m", "200"])
+    assert "maximal=True" in out
+
+
+def test_coloring_command(capsys):
+    out = run(capsys, ["coloring", "--n", "40", "--m", "200"])
+    assert "proper=True" in out
+
+
+def test_mincut_command(capsys):
+    out = run(capsys, ["mincut", "--n", "30", "--cut", "2"])
+    assert "exact cut" in out
+    assert "weighted estimate" in out
+
+
+def test_cycle_command(capsys):
+    out = run(capsys, ["cycle", "--n", "40", "--seed", "3"])
+    assert "cycles" in out and "rounds 1" in out
+
+
+def test_compare_command(capsys):
+    out = run(capsys, ["compare", "--n", "40", "--m", "200"])
+    assert "sublinear" in out and "heterogeneous" in out
+    assert "MST" in out
+
+
+def test_gamma_flag(capsys):
+    out = run(capsys, ["mst", "--n", "36", "--m", "150", "--gamma", "0.3"])
+    assert "verified=True" in out

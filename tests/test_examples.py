@@ -1,0 +1,26 @@
+"""Smoke tests: every example script imports cleanly and exposes main().
+
+(The examples' full runs are exercised manually / in CI-nightly style via
+``python examples/<name>.py``; here we only guard against import rot.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None))
+
+
+def test_there_are_at_least_four_examples():
+    assert len(EXAMPLES) >= 4
