@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
 from ...mpc.cluster import Cluster
+from ...mpc.plan import RoundPlan
 from ...primitives.edgestore import EdgeStore
 
 __all__ = [
@@ -224,14 +225,17 @@ def modified_baswana_sen_mpc(
     """
     large_id = cluster.large.machine_id
 
-    # One round: every machine sends its sampled copies, tagged by level.
-    messages = []
+    # One round: every machine sends its sampled copies, tagged by level,
+    # as a single batch per machine.
+    plan = RoundPlan(note=f"{note}/sample")
     for machine in cluster.smalls:
+        batch = []
         for record in machine.get(store.name, []):
             for level in range(max(0, k - 1)):
                 if rng.random() < p:
-                    messages.append((machine.machine_id, large_id, (level, record)))
-    inbox = cluster.exchange(messages, note=f"{note}/sample").get(large_id, [])
+                    batch.append((level, record))
+        plan.send_batch(machine.machine_id, large_id, batch)
+    inbox = cluster.execute(plan).get(large_id, [])
 
     sampled: list[dict[Hashable, list]] = [dict() for _ in range(max(0, k - 1))]
     for level, record in inbox:

@@ -4,6 +4,38 @@ This package implements the computational model of Section 2 of the paper:
 synchronous rounds, per-round communication bounded by machine memory, one
 near-linear machine plus many sublinear machines (with sublinear-only and
 superlinear-large variants for the baselines and for Theorems 3.1/5.5).
+
+The RoundPlan API (batched round engine)
+----------------------------------------
+
+One synchronous round is described by a :class:`RoundPlan` and executed by
+:meth:`Cluster.execute`::
+
+    plan = RoundPlan(note="route")
+    plan.send(src, dst, item)                 # one item
+    plan.send_batch(src, dst, [a, b, c])      # a whole batch, sized in bulk
+    inboxes = cluster.execute(plan)           # charges exactly one round
+
+The plan groups traffic per ``(src, dst)`` pair; ``execute`` sizes every
+batch with one :func:`word_size_many` pass (fast-pathing homogeneous scalar
+and edge-tuple batches), charges send/receive volumes against machine
+capacities, raises :class:`CommunicationLimitExceeded` in strict mode, and
+fills inboxes batch by batch.  Per-round item counts and wall-clock time
+are recorded in the ledger's :class:`NoteStats` so benchmarks can attribute
+cost per note label.
+
+Compatibility policy
+--------------------
+
+:meth:`Cluster.exchange` — the original per-``(src, dst, payload)`` message
+API — is retained indefinitely as a thin wrapper that builds a plan and
+calls ``execute``.  Rounds charged, words charged, strict-mode behavior and
+ledger totals are identical on both paths.  The only divergence is inbox
+ordering when a message list interleaves sources: deliveries are grouped by
+``(src, dst)`` pair (pairs in first-send order, items in send order).
+Source-major producers — every producer in this repo — observe byte-for-byte
+identical inboxes.  New code should prefer ``RoundPlan`` +
+``Cluster.execute``; ``exchange`` exists so external callers never break.
 """
 
 from .cluster import Cluster, Message
@@ -15,20 +47,24 @@ from .errors import (
     MPCError,
     ProtocolError,
 )
-from .ledger import RoundLedger, RoundRecord
+from .ledger import NoteStats, RoundLedger, RoundRecord
 from .machine import LARGE, SMALL, Machine
-from .words import word_size
+from .plan import RoundPlan
+from .words import word_size, word_size_many
 
 __all__ = [
     "Cluster",
     "Message",
     "ModelConfig",
     "RoundLedger",
+    "RoundPlan",
     "RoundRecord",
+    "NoteStats",
     "Machine",
     "SMALL",
     "LARGE",
     "word_size",
+    "word_size_many",
     "MPCError",
     "MemoryLimitExceeded",
     "CommunicationLimitExceeded",

@@ -1,29 +1,35 @@
 """The MPC cluster: machines, synchronous rounds, communication accounting.
 
 The cluster is deliberately *orchestrated*: algorithm code runs centrally
-and moves data between machines with :meth:`Cluster.exchange`, which models
-one synchronous round.  The honesty of the simulation lives in the ledger —
-every logical communication costs a round, every payload is charged its
-word size against the sender's and receiver's capacity, and memory
-high-water marks are recorded after every round.  (Local computation
-between rounds is free, exactly as in the model.)
+and moves data between machines in synchronous rounds.  The honesty of the
+simulation lives in the ledger — every logical communication costs a round,
+every payload is charged its word size against the sender's and receiver's
+capacity, and memory high-water marks are recorded after every round.
+(Local computation between rounds is free, exactly as in the model.)
+
+Rounds are executed by the *batched round engine*: algorithms build a
+:class:`~repro.mpc.plan.RoundPlan` (traffic grouped per ``(src, dst)``
+pair) and hand it to :meth:`Cluster.execute`, which sizes each batch in one
+bulk pass, enforces capacities, and fills inboxes batch by batch.  The
+legacy per-message :meth:`Cluster.exchange` is kept as a thin wrapper that
+builds a plan from ``(src, dst, payload)`` tuples, so existing callers keep
+working and both paths charge identical rounds/words.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from typing import Any, Callable, Iterable, Sequence
 
 from .config import ModelConfig
 from .errors import CommunicationLimitExceeded, ProtocolError
 from .ledger import RoundLedger
 from .machine import LARGE, SMALL, Machine
-from .words import word_size
+from .plan import Message, RoundPlan
+from .words import word_size_many
 
 __all__ = ["Cluster", "Message"]
-
-#: (source machine id, destination machine id, payload)
-Message = tuple[int, int, Any]
 
 
 class Cluster:
@@ -72,31 +78,38 @@ class Cluster:
     # ------------------------------------------------------------------
     # The synchronous round
     # ------------------------------------------------------------------
-    def exchange(
-        self, messages: Iterable[Message], note: str = ""
-    ) -> dict[int, list[Any]]:
-        """Deliver *messages* in one synchronous round.
+    def execute(self, plan: RoundPlan) -> dict[int, list[Any]]:
+        """Run *plan* as one synchronous round.
 
-        Returns the inbox of each machine that received at least one
-        message.  Send/receive volumes are charged against each machine's
-        capacity; in strict mode a violation raises
-        :class:`CommunicationLimitExceeded`, otherwise it is recorded in
-        the ledger.
+        Each ``(src, dst)`` batch is sized in one bulk pass and delivered
+        as a block; send/receive volumes are charged against each machine's
+        capacity.  In strict mode a violation raises
+        :class:`CommunicationLimitExceeded` before the round is recorded,
+        otherwise it is recorded in the ledger.  Returns the inbox of each
+        machine that received at least one item.
         """
+        start = time.perf_counter()
         sent: dict[int, int] = {}
         received: dict[int, int] = {}
         inboxes: dict[int, list[Any]] = {}
         total = 0
+        items = 0
 
-        for src, dst, payload in messages:
+        for src, dst, batch in plan.batches():
             if src not in self.machines or dst not in self.machines:
                 raise ProtocolError(f"message between unknown machines {src}->{dst}")
-            words = word_size(payload)
+            words = word_size_many(batch)
             total += words
+            items += len(batch)
             sent[src] = sent.get(src, 0) + words
             received[dst] = received.get(dst, 0) + words
-            inboxes.setdefault(dst, []).append(payload)
+            inbox = inboxes.get(dst)
+            if inbox is None:
+                inboxes[dst] = list(batch)
+            else:
+                inbox.extend(batch)
 
+        note = plan.note
         violations: list[str] = []
         for mid, words in sent.items():
             if words > self.machines[mid].capacity:
@@ -119,9 +132,24 @@ class Cluster:
             max_sent=max(sent.values(), default=0),
             max_received=max(received.values(), default=0),
             violations=tuple(violations),
+            items=items,
+            elapsed=time.perf_counter() - start,
         )
         self._record_memory()
         return inboxes
+
+    def exchange(
+        self, messages: Iterable[Message], note: str = ""
+    ) -> dict[int, list[Any]]:
+        """Deliver per-item *messages* in one synchronous round.
+
+        Compatibility wrapper over :meth:`execute`: the messages are
+        grouped into a :class:`RoundPlan` and run through the batched
+        engine.  Rounds, words, and violations are identical to the
+        historical per-message accounting; inbox ordering is preserved for
+        source-major message lists (see :mod:`repro.mpc.plan`).
+        """
+        return self.execute(RoundPlan(note=note).extend(messages))
 
     def _record_memory(self) -> None:
         for machine in self.machines.values():
@@ -137,12 +165,10 @@ class Cluster:
         note: str = "gather",
     ) -> list[Any]:
         """All listed machines send their items to *dst* in one round."""
-        messages = [
-            (src, dst, item)
-            for src, items in items_by_src.items()
-            for item in items
-        ]
-        inboxes = self.exchange(messages, note=note)
+        plan = RoundPlan(note=note)
+        for src, items in items_by_src.items():
+            plan.send_batch(src, dst, items)
+        inboxes = self.execute(plan)
         return inboxes.get(dst, [])
 
     def scatter(
@@ -152,12 +178,10 @@ class Cluster:
         note: str = "scatter",
     ) -> dict[int, list[Any]]:
         """Machine *src* sends a list of items to each destination, one round."""
-        messages = [
-            (src, dst, item)
-            for dst, items in items_by_dst.items()
-            for item in items
-        ]
-        return self.exchange(messages, note=note)
+        plan = RoundPlan(note=note)
+        for dst, items in items_by_dst.items():
+            plan.send_batch(src, dst, items)
+        return self.execute(plan)
 
     # ------------------------------------------------------------------
     # Input placement
@@ -170,6 +194,11 @@ class Cluster:
     ) -> None:
         """Place the input edges on the small machines (arbitrarily, as the
         model allows; costs zero rounds — this is the *initial* state)."""
+        if not self.smalls:
+            raise ProtocolError(
+                "cannot distribute input: this configuration has no small "
+                "machines to hold it"
+            )
         order = list(edges)
         if shuffle:
             self.rng.shuffle(order)

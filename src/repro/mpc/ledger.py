@@ -22,7 +22,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["RoundLedger", "RoundRecord"]
+__all__ = ["NoteStats", "RoundLedger", "RoundRecord"]
 
 
 @dataclass
@@ -35,6 +35,24 @@ class RoundRecord:
     max_sent: int
     max_received: int
     violations: tuple[str, ...] = ()
+    items: int = 0
+    elapsed: float = 0.0
+
+
+@dataclass
+class NoteStats:
+    """Aggregate statistics over every round sharing one note label.
+
+    Benchmarks use these to attribute cost: ``rounds`` and ``total_words``
+    are model-level quantities, ``items`` counts logical payloads routed,
+    and ``elapsed`` is simulator wall-clock time (seconds) — the only
+    non-model field, useful for finding the hot exchanges.
+    """
+
+    rounds: int = 0
+    total_words: int = 0
+    items: int = 0
+    elapsed: float = 0.0
 
 
 @dataclass
@@ -45,6 +63,7 @@ class RoundLedger:
     records: list[RoundRecord] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
     memory_high_water: dict[int, int] = field(default_factory=dict)
+    note_stats: dict[str, NoteStats] = field(default_factory=dict)
     _sections: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -57,6 +76,8 @@ class RoundLedger:
         max_sent: int,
         max_received: int,
         violations: tuple[str, ...] = (),
+        items: int = 0,
+        elapsed: float = 0.0,
     ) -> RoundRecord:
         self.rounds += 1
         label = " / ".join(self._sections + [note]) if note else " / ".join(self._sections)
@@ -67,9 +88,18 @@ class RoundLedger:
             max_sent=max_sent,
             max_received=max_received,
             violations=violations,
+            items=items,
+            elapsed=elapsed,
         )
         self.records.append(record)
         self.violations.extend(violations)
+        stats = self.note_stats.get(label)
+        if stats is None:
+            stats = self.note_stats[label] = NoteStats()
+        stats.rounds += 1
+        stats.total_words += total_words
+        stats.items += items
+        stats.elapsed += elapsed
         return record
 
     def charge(self, rounds: int, note: str = "charged") -> None:
@@ -121,6 +151,18 @@ class RoundLedger:
     @property
     def total_words(self) -> int:
         return sum(record.total_words for record in self.records)
+
+    @property
+    def wall_time(self) -> float:
+        """Total simulator wall-clock seconds spent inside rounds."""
+        return sum(stats.elapsed for stats in self.note_stats.values())
+
+    def hottest_notes(self, limit: int = 10) -> list[tuple[str, NoteStats]]:
+        """Note labels ranked by simulator wall-clock time, hottest first."""
+        ranked = sorted(
+            self.note_stats.items(), key=lambda pair: pair[1].elapsed, reverse=True
+        )
+        return ranked[:limit]
 
     def summary(self) -> dict:
         return {

@@ -1,0 +1,108 @@
+"""RoundPlan — the builder side of the batched round engine.
+
+A :class:`RoundPlan` describes one synchronous round of traffic as a set of
+per-``(src, dst)`` *batches* instead of a flat list of per-item messages.
+Algorithms accumulate traffic with :meth:`RoundPlan.send` /
+:meth:`RoundPlan.send_batch` and hand the plan to
+:meth:`repro.mpc.cluster.Cluster.execute`, which charges the round, sizes
+every batch in bulk (:func:`repro.mpc.words.word_size_many`) and fills the
+destination inboxes batch by batch.
+
+Semantics are identical to the legacy per-message
+:meth:`~repro.mpc.cluster.Cluster.exchange` path: the words charged are the
+sum of the item word sizes, capacity checks see per-machine totals, and a
+plan always costs exactly one round.  The only observable difference is
+inbox ordering for callers that interleave sources: items arrive grouped by
+``(src, dst)`` pair, pairs in first-``send`` order, items within a pair in
+send order.  (Every in-repo producer already emits traffic source-major, so
+orderings coincide.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Message", "RoundPlan"]
+
+#: (source machine id, destination machine id, payload) — the per-item
+#: message form; re-exported by :mod:`repro.mpc.cluster`.
+Message = tuple[int, int, Any]
+
+
+class RoundPlan:
+    """Accumulates one round of traffic, grouped per ``(src, dst)`` pair."""
+
+    __slots__ = ("note", "_batches")
+
+    def __init__(self, note: str = "") -> None:
+        self.note = note
+        self._batches: dict[tuple[int, int], list[Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, *items: Any) -> "RoundPlan":
+        """Queue *items* from machine *src* to machine *dst*."""
+        if items:
+            batch = self._batches.get((src, dst))
+            if batch is None:
+                self._batches[(src, dst)] = list(items)
+            else:
+                batch.extend(items)
+        return self
+
+    def send_batch(self, src: int, dst: int, items: Iterable[Any]) -> "RoundPlan":
+        """Queue a whole batch of items from *src* to *dst*.
+
+        The fast path of the engine: one route entry and one bulk sizing
+        pass regardless of how many items the batch holds.
+        """
+        batch = self._batches.get((src, dst))
+        if batch is None:
+            batch = list(items)
+            if batch:
+                self._batches[(src, dst)] = batch
+        else:
+            batch.extend(items)
+        return self
+
+    def extend(self, messages: Iterable[Message]) -> "RoundPlan":
+        """Absorb legacy ``(src, dst, payload)`` message tuples."""
+        for src, dst, payload in messages:
+            self.send(src, dst, payload)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self._batches
+
+    def batches(self) -> Iterator[tuple[int, int, list[Any]]]:
+        """Yield ``(src, dst, items)`` in first-send order."""
+        for (src, dst), items in self._batches.items():
+            yield src, dst, items
+
+    def routes(self) -> int:
+        """Number of distinct ``(src, dst)`` pairs with traffic."""
+        return len(self._batches)
+
+    def item_count(self) -> int:
+        """Total number of logical items queued."""
+        return sum(len(items) for items in self._batches.values())
+
+    def __len__(self) -> int:
+        return self.item_count()
+
+    def messages(self) -> Iterator[Message]:
+        """Flatten back to legacy message tuples (debugging / tests)."""
+        for (src, dst), items in self._batches.items():
+            for item in items:
+                yield src, dst, item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoundPlan(note={self.note!r}, routes={self.routes()}, "
+            f"items={self.item_count()})"
+        )

@@ -6,6 +6,12 @@ combines its own items per key; the partial aggregates then flow up a
 fanout-``n^gamma`` converge-cast tree, being re-combined at every level so
 intermediate volumes stay bounded; the final aggregates land on a
 destination machine (the large machine, in all of the paper's uses).
+
+All traffic moves through the batched round engine: every tree level is one
+:class:`~repro.mpc.plan.RoundPlan` (built by
+:func:`~repro.primitives.broadcast.converge_cast`) with one batch per
+machine pair, so the per-level cost is a handful of bulk sizing passes
+rather than one recursive sizing call per partial aggregate.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from ..mpc.cluster import Cluster
+from ..mpc.plan import RoundPlan
 
 __all__ = ["broadcast", "converge_cast"]
 
@@ -31,7 +32,7 @@ def broadcast(
     pending = [d for d in dst_ids if d != src]
     rounds = 0
     while pending:
-        messages = []
+        plan = RoundPlan(note=f"{note}/push")
         new_holders = []
         index = 0
         for holder in holders:
@@ -40,10 +41,10 @@ def broadcast(
                     break
                 target = pending[index]
                 index += 1
-                messages.append((holder, target, value))
+                plan.send(holder, target, value)
                 new_holders.append(target)
         pending = pending[index:]
-        cluster.exchange(messages, note=f"{note}/push")
+        cluster.execute(plan)
         holders.extend(new_holders)
         rounds += 1
     return rounds
@@ -77,15 +78,14 @@ def converge_cast(
             for position, mid in enumerate(sources):
                 group = position // fanout
                 representatives[mid] = sources[group] if sources[group] != mid else mid
-        messages = []
+        plan = RoundPlan(note=f"{note}/level")
         for mid in sources:
             target = representatives[mid]
             if target == mid:
                 continue
-            for item in buffers[mid]:
-                messages.append((mid, target, item))
+            plan.send_batch(mid, target, buffers[mid])
             buffers[mid] = []
-        inboxes = cluster.exchange(messages, note=f"{note}/level")
+        inboxes = cluster.execute(plan)
         for target, received in inboxes.items():
             buffers.setdefault(target, []).extend(received)
             if combine is not None and target != dst:

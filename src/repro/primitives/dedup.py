@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable
 
 from ..mpc.cluster import Cluster
+from ..mpc.plan import RoundPlan
 from .sort import sample_sort
 
 __all__ = ["dedup_lightest"]
@@ -50,12 +51,12 @@ def dedup_lightest(
     # (pre-drop) record to the next non-empty machine, which then drops its
     # leading records of that key.  One round.
     nonempty = [m for m in cluster.smalls if m.get(name)]
-    messages = []
+    plan = RoundPlan(note=f"{note}/boundary")
     for left, right in zip(nonempty, nonempty[1:]):
-        messages.append(
-            (left.machine_id, right.machine_id, ("last-key", key(left.get(name)[-1])))
+        plan.send(
+            left.machine_id, right.machine_id, ("last-key", key(left.get(name)[-1]))
         )
-    inboxes = cluster.exchange(messages, note=f"{note}/boundary")
+    inboxes = cluster.execute(plan)
     for mid, received in inboxes.items():
         machine = cluster.machine(mid)
         boundary_keys = {payload[1] for payload in received}

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable
 
 from ..mpc.cluster import Cluster
+from ..mpc.plan import RoundPlan
 
 __all__ = ["disseminate", "holders_by_key"]
 
@@ -59,24 +60,23 @@ def disseminate(
     received: dict[int, dict[Hashable, Any]] = {}
 
     # Round 0: the source seeds the root (first holder) of each key's tree.
-    seed_messages = []
+    seed_plan = RoundPlan(note=f"{note}/seed")
     trees: dict[Hashable, list[int]] = {}
     for key, value in values.items():
         machine_list = holders.get(key, [])
         if not machine_list:
             continue
         trees[key] = machine_list
-        seed_messages.append((src, machine_list[0], (key, value)))
-    if seed_messages:
-        cluster.exchange(seed_messages, note=f"{note}/seed")
-        for _, dst, (key, value) in seed_messages:
-            received.setdefault(dst, {})[key] = value
+        seed_plan.send(src, machine_list[0], (key, value))
+        received.setdefault(machine_list[0], {})[key] = value
+    if not seed_plan.is_empty:
+        cluster.execute(seed_plan)
 
     # Subsequent rounds: heap-indexed tree push, all keys in lockstep.
     # Node at position i forwards to children at positions i*fanout+1 ...
     frontier: dict[Hashable, list[int]] = {key: [0] for key in trees}
     while True:
-        messages = []
+        plan = RoundPlan(note=f"{note}/push")
         new_frontier: dict[Hashable, list[int]] = {}
         for key, positions in frontier.items():
             machine_list = trees[key]
@@ -84,12 +84,11 @@ def disseminate(
             for position in positions:
                 first_child = position * fanout + 1
                 for child in range(first_child, min(first_child + fanout, len(machine_list))):
-                    messages.append((machine_list[position], machine_list[child], (key, value)))
+                    plan.send(machine_list[position], machine_list[child], (key, value))
+                    received.setdefault(machine_list[child], {})[key] = value
                     new_frontier.setdefault(key, []).append(child)
-        if not messages:
+        if plan.is_empty:
             break
-        cluster.exchange(messages, note=f"{note}/push")
-        for _, dst, (key, value) in messages:
-            received.setdefault(dst, {})[key] = value
+        cluster.execute(plan)
         frontier = new_frontier
     return received

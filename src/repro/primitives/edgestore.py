@@ -114,7 +114,7 @@ class EdgeStore:
         note: str = "gather",
     ) -> list[Any]:
         """Every machine ships its (matching) records to the large machine
-        in one round."""
+        in one round (one batch per machine, via the batched engine)."""
         large_id = self.cluster.large.machine_id
         items_by_src = {
             machine.machine_id: [

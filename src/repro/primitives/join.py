@@ -26,6 +26,7 @@ from typing import Any, Hashable
 
 from ..mpc.cluster import Cluster
 from ..mpc.errors import ProtocolError
+from ..mpc.plan import RoundPlan
 from .disseminate import disseminate
 from .sort import sample_sort
 
@@ -86,14 +87,14 @@ def annotate_edges_with_vertex_values(
     # starts at an odd rank sends its first record back to the machine that
     # holds the rank just before it.  One round fixes all boundaries.
     offsets = layout.offsets
-    messages = []
+    plan = RoundPlan(note=f"{note}/boundary")
     for index, machine in enumerate(cluster.smalls):
         records = machine.get(work, [])
         if records and offsets[index] % 2 == 1:
             target = layout.machine_of_rank(offsets[index] - 1)
-            messages.append((machine.machine_id, target, records[0]))
+            plan.send(machine.machine_id, target, records[0])
             machine.put(work, records[1:])
-    inboxes = cluster.exchange(messages, note=f"{note}/boundary")
+    inboxes = cluster.execute(plan)
     for mid, received_records in inboxes.items():
         machine = cluster.machine(mid)
         local = machine.get(work, [])

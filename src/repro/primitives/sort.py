@@ -18,9 +18,11 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Callable
 
 from ..mpc.cluster import Cluster
+from ..mpc.plan import RoundPlan
 from .broadcast import broadcast, converge_cast
 
 __all__ = ["SortLayout", "sample_sort"]
@@ -32,17 +34,19 @@ class SortLayout:
 
     ``counts[i]`` is the number of items on the i-th small machine (in
     machine order); ``offsets[i]`` is the global rank of that machine's
-    first item.
+    first item.  A layout describes one finished sort and is treated as
+    immutable: ``total`` and ``offsets`` are computed once and cached
+    (callers invoke :meth:`machine_of_rank` in tight loops).
     """
 
     machine_ids: list[int]
     counts: list[int]
 
-    @property
+    @cached_property
     def total(self) -> int:
         return sum(self.counts)
 
-    @property
+    @cached_property
     def offsets(self) -> list[int]:
         result = []
         acc = 0
@@ -55,8 +59,7 @@ class SortLayout:
         """The machine holding the item of global rank *rank*."""
         if not 0 <= rank < self.total:
             raise IndexError(rank)
-        offsets = self.offsets
-        index = bisect.bisect_right(offsets, rank) - 1
+        index = bisect.bisect_right(self.offsets, rank) - 1
         return self.machine_ids[index]
 
 
@@ -101,13 +104,18 @@ def sample_sort(
             splitters.append(sample_keys[index])
     broadcast(cluster, coordinator, tuple(splitters), machine_ids, note=f"{note}/splitters")
 
-    # Step 3: route every item to its bucket machine.
-    messages = []
+    # Step 3: route every item to its bucket machine — the hottest exchange
+    # in the repo, so traffic is bucketed locally and shipped as one batch
+    # per (machine, bucket) pair.
+    plan = RoundPlan(note=f"{note}/route")
     for machine in smalls:
+        outgoing: dict[int, list[Any]] = {}
         for item in machine.pop(name, []):
             bucket = bisect.bisect_right(splitters, key(item))
-            messages.append((machine.machine_id, machine_ids[bucket], item))
-    inboxes = cluster.exchange(messages, note=f"{note}/route")
+            outgoing.setdefault(machine_ids[bucket], []).append(item)
+        for target, batch in outgoing.items():
+            plan.send_batch(machine.machine_id, target, batch)
+    inboxes = cluster.execute(plan)
     counts = []
     for machine in smalls:
         bucket_items = sorted(inboxes.get(machine.machine_id, []), key=key)

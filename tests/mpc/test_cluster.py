@@ -102,6 +102,13 @@ def test_distribute_edges_is_balanced():
     assert max(counts) - min(counts) <= 1
 
 
+def test_distribute_edges_without_small_machines_raises():
+    cluster = make_cluster()
+    cluster.smalls = []
+    with pytest.raises(ProtocolError):
+        cluster.distribute_edges([(1, 2)], name="e")
+
+
 def test_map_small_applies_local_transform():
     cluster = make_cluster()
     cluster.distribute_edges([(1, 2), (3, 4), (5, 6)], name="e")

@@ -1,0 +1,165 @@
+"""RoundPlan builder and the batched execute path."""
+
+import random
+
+import pytest
+
+from repro.mpc import (
+    Cluster,
+    CommunicationLimitExceeded,
+    ModelConfig,
+    ProtocolError,
+    RoundPlan,
+)
+
+
+def make_cluster(strict: bool = False, **kw) -> Cluster:
+    config = ModelConfig.heterogeneous(n=64, m=256, strict=strict, **kw)
+    return Cluster(config, rng=random.Random(0))
+
+
+# ----------------------------------------------------------------------
+# Builder semantics
+# ----------------------------------------------------------------------
+def test_send_groups_by_route():
+    plan = RoundPlan()
+    plan.send(0, 1, "a").send(0, 1, "b").send(0, 2, "c")
+    assert plan.routes() == 2
+    assert plan.item_count() == 3
+    assert len(plan) == 3
+    assert list(plan.batches()) == [(0, 1, ["a", "b"]), (0, 2, ["c"])]
+
+
+def test_send_batch_merges_with_send():
+    plan = RoundPlan()
+    plan.send(3, 4, 10)
+    plan.send_batch(3, 4, [20, 30])
+    assert list(plan.batches()) == [(3, 4, [10, 20, 30])]
+
+
+def test_empty_sends_create_no_routes():
+    plan = RoundPlan()
+    plan.send(0, 1)
+    plan.send_batch(0, 1, [])
+    assert plan.is_empty
+    assert plan.routes() == 0
+
+
+def test_send_batch_copies_its_input():
+    items = [1, 2]
+    plan = RoundPlan()
+    plan.send_batch(0, 1, items)
+    items.append(3)
+    assert list(plan.batches()) == [(0, 1, [1, 2])]
+
+
+def test_extend_absorbs_legacy_messages():
+    plan = RoundPlan().extend([(0, 1, "x"), (2, 1, "y"), (0, 1, "z")])
+    assert list(plan.batches()) == [(0, 1, ["x", "z"]), (2, 1, ["y"])]
+
+
+def test_messages_flattens_back():
+    plan = RoundPlan()
+    plan.send_batch(0, 1, ["a", "b"])
+    plan.send(2, 3, "c")
+    assert list(plan.messages()) == [(0, 1, "a"), (0, 1, "b"), (2, 3, "c")]
+
+
+# ----------------------------------------------------------------------
+# Execute semantics
+# ----------------------------------------------------------------------
+def test_execute_delivers_batches_and_counts_one_round():
+    cluster = make_cluster()
+    plan = RoundPlan(note="t")
+    plan.send_batch(0, 1, [(1, 2), (3, 4)])
+    plan.send(0, 2, "hello")
+    inboxes = cluster.execute(plan)
+    assert inboxes[1] == [(1, 2), (3, 4)]
+    assert inboxes[2] == ["hello"]
+    assert cluster.ledger.rounds == 1
+
+
+def test_execute_charges_bulk_word_sizes():
+    cluster = make_cluster()
+    plan = RoundPlan(note="w")
+    plan.send_batch(0, 1, [(1, 2, 3), (4, 5, 6)])  # 6 words
+    plan.send(2, 1, (7, 8))  # 2 words
+    cluster.execute(plan)
+    record = cluster.ledger.records[-1]
+    assert record.total_words == 8
+    assert record.max_sent == 6
+    assert record.max_received == 8
+    assert record.items == 3
+
+
+def test_execute_matches_exchange_accounting():
+    """The compatibility contract: both paths charge identical rounds,
+    words, volumes and violations for the same traffic."""
+    rng = random.Random(9)
+    traffic = [
+        (rng.randrange(4), 4 + rng.randrange(4), (rng.randrange(100), rng.randrange(100)))
+        for _ in range(500)
+    ]
+    via_exchange = make_cluster()
+    via_exchange.exchange(list(traffic), note="n")
+    via_plan = make_cluster()
+    plan = RoundPlan(note="n")
+    for src, dst, payload in traffic:
+        plan.send(src, dst, payload)
+    inboxes = via_plan.execute(plan)
+
+    a, b = via_exchange.ledger.records[-1], via_plan.ledger.records[-1]
+    assert (a.total_words, a.max_sent, a.max_received) == (
+        b.total_words,
+        b.max_sent,
+        b.max_received,
+    )
+    assert set(a.violations) == set(b.violations)
+    # Source-major traffic also sees identical inbox ordering.
+    assert inboxes == via_exchange.exchange(list(traffic), note="n")
+
+
+def test_execute_unknown_machine_raises():
+    cluster = make_cluster()
+    plan = RoundPlan().send(0, 10**6, "x")
+    with pytest.raises(ProtocolError):
+        cluster.execute(plan)
+
+
+def test_execute_strict_raises_before_recording():
+    cluster = make_cluster(strict=True)
+    capacity = cluster.smalls[1].capacity
+    plan = RoundPlan(note="burst")
+    plan.send_batch(0, 1, [0] * (capacity + 1))
+    with pytest.raises(CommunicationLimitExceeded):
+        cluster.execute(plan)
+    assert cluster.ledger.rounds == 0
+
+
+def test_empty_plan_still_costs_a_round():
+    cluster = make_cluster()
+    cluster.execute(RoundPlan(note="sync"))
+    assert cluster.ledger.rounds == 1
+    assert cluster.ledger.records[-1].total_words == 0
+
+
+def test_execute_records_note_stats():
+    cluster = make_cluster()
+    plan = RoundPlan(note="hot")
+    plan.send_batch(0, 1, [1, 2, 3])
+    cluster.execute(plan)
+    cluster.execute(RoundPlan(note="hot").send(2, 3, (1, 2)))
+    stats = cluster.ledger.note_stats["hot"]
+    assert stats.rounds == 2
+    assert stats.total_words == 5
+    assert stats.items == 4
+    assert stats.elapsed >= 0.0
+    assert cluster.ledger.wall_time >= stats.elapsed
+    assert cluster.ledger.hottest_notes()[0][0] == "hot"
+
+
+def test_note_stats_respect_ledger_sections():
+    cluster = make_cluster()
+    with cluster.ledger.section("phase-a"):
+        cluster.execute(RoundPlan(note="x").send(0, 1, 1))
+    assert "phase-a / x" in cluster.ledger.note_stats

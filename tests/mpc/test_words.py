@@ -1,8 +1,11 @@
 """Word-size accounting."""
 
+import random
+from collections import namedtuple
+
 import pytest
 
-from repro.mpc.words import word_size
+from repro.mpc.words import word_size, word_size_many
 
 
 def test_scalars_cost_one_word():
@@ -58,3 +61,107 @@ def test_flow_label_word_size_matches_protocol():
 
     label = FlowLabel(entries=((1, 5.0), (2, 3.0)))
     assert word_size(label) == 1 + 2 * 2
+
+
+def test_word_size_nested_dicts():
+    assert word_size({1: {2: 3}, "key": [4, 5]}) == 1 + 1 + 1 + 1 + 2
+    assert word_size({}) == 0
+
+
+def test_word_size_empty_containers():
+    assert word_size([]) == 0
+    assert word_size(set()) == 0
+    assert word_size(frozenset()) == 0
+    assert word_size({"a": []}) == 1
+
+
+# ----------------------------------------------------------------------
+# The bulk sizer
+# ----------------------------------------------------------------------
+class Sized:
+    def word_size(self) -> int:
+        return 7
+
+
+def test_word_size_many_empty():
+    assert word_size_many([]) == 0
+    assert word_size_many(()) == 0
+    assert word_size_many(iter([])) == 0
+
+
+def test_word_size_many_scalar_fast_path():
+    assert word_size_many([1, 2.5, True, None]) == 4
+    assert word_size_many(range(100)) == 100
+
+
+def test_word_size_many_edge_list_fast_path():
+    edges = [(1, 2, 97), (3, 4, 12)]
+    assert word_size_many(edges) == 6
+    assert word_size_many([(1, 2), (3, 4, 5)]) == 5  # ragged is fine
+
+
+def test_word_size_many_mixed_batches():
+    assert word_size_many([1, (2, 3)]) == 3
+    assert word_size_many([(1, (2, 3)), (4,)]) == 4  # nested tuples
+    assert word_size_many(["abcdefgh", 1]) == 3
+
+
+def test_word_size_many_dicts_and_objects():
+    assert word_size_many([{1: 2}, {3: (4, 5)}]) == 2 + 3
+    assert word_size_many([Sized(), Sized()]) == 14
+    assert word_size_many([(1, Sized())]) == 8
+
+
+def test_word_size_many_strings_per_eight_chars():
+    assert word_size_many(["", "a" * 8, "a" * 17]) == 1 + 2 + 3
+
+
+def test_word_size_many_namedtuple_with_custom_sizer_skips_fast_path():
+    class SizedPair(namedtuple("SizedPair", "a b")):
+        def word_size(self) -> int:
+            return 99
+
+    batch = [SizedPair(1, 2), SizedPair(3, 4)]
+    assert word_size(batch[0]) == 99
+    assert word_size_many(batch) == 198
+
+
+def test_word_size_many_plain_namedtuple_agrees():
+    Pair = namedtuple("Pair", "a b")
+    batch = [Pair(1, 2), Pair(3, 4)]
+    assert word_size_many(batch) == sum(word_size(item) for item in batch)
+
+
+def test_word_size_many_scalar_subclasses_agree():
+    class MyInt(int):
+        pass
+
+    batch = [MyInt(1), 2, MyInt(3)]
+    assert word_size_many(batch) == 3
+
+
+def test_word_size_many_unknown_types_raise():
+    with pytest.raises(TypeError):
+        word_size_many([object()])
+    with pytest.raises(TypeError):
+        word_size_many([(1, object())])
+
+
+def _random_payload(rng: random.Random, depth: int = 0):
+    roll = rng.random()
+    if depth >= 3 or roll < 0.45:
+        return rng.choice([rng.randrange(1000), rng.random(), True, None])
+    if roll < 0.7:
+        return tuple(_random_payload(rng, depth + 1) for _ in range(rng.randrange(4)))
+    if roll < 0.8:
+        return [_random_payload(rng, depth + 1) for _ in range(rng.randrange(3))]
+    if roll < 0.9:
+        return "x" * rng.randrange(20)
+    return {rng.randrange(10): _random_payload(rng, depth + 1) for _ in range(rng.randrange(3))}
+
+
+def test_word_size_many_agrees_with_per_item_sizer_on_random_payloads():
+    rng = random.Random(1234)
+    for _ in range(50):
+        batch = [_random_payload(rng) for _ in range(rng.randrange(30))]
+        assert word_size_many(batch) == sum(word_size(item) for item in batch)

@@ -84,6 +84,14 @@ def test_layout_offsets_and_rank_lookup():
         layout.machine_of_rank(5)
 
 
+def test_layout_offsets_are_cached():
+    layout = SortLayout(machine_ids=[10, 11, 12], counts=[3, 0, 2])
+    first = layout.offsets
+    assert layout.offsets is first  # computed once, reused by rank lookups
+    assert layout.total == 5
+    assert [layout.machine_of_rank(r) for r in range(5)] == [10, 10, 10, 12, 12]
+
+
 def test_works_without_large_machine():
     config = ModelConfig.sublinear(n=64, m=512)
     cluster = Cluster(config, rng=random.Random(3))
