@@ -16,11 +16,19 @@ from repro.analysis import render_table
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def publish(experiment: str, title: str, rows: Sequence[dict[str, Any]], columns: Sequence[str]) -> str:
-    """Render, print, and persist one experiment table."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def publish(
+    experiment: str,
+    title: str,
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str],
+    persist: bool = True,
+) -> str:
+    """Render, print, and (unless *persist* is false — e.g. CI smoke runs
+    at tiny sizes) persist one experiment table."""
     table = render_table(rows, columns)
     text = f"{title}\n{'=' * len(title)}\n{table}\n"
     print("\n" + text)
-    (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+    if persist:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment}.txt").write_text(text)
     return text

@@ -15,6 +15,7 @@ Both paths must charge identical words (asserted); the table reports
 items-routed-per-second and the speedup.
 """
 
+import os
 import random
 import time
 
@@ -23,7 +24,9 @@ from repro.mpc.words import word_size
 
 from _util import publish
 
-ITEMS = 100_000
+# The CI smoke job shrinks the workload and skips persisting the table.
+ITEMS = int(os.environ.get("REPRO_BENCH_ITEMS", "100000"))
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 REPEATS = 3
 
 
@@ -151,12 +154,15 @@ def test_engine_throughput(benchmark):
     rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     publish(
         "engine_throughput",
-        "Batched round engine: items routed per second, 100k-edge route",
+        f"Batched round engine: items routed per second, {ITEMS}-item route",
         rows,
         ["engine", "items", "items_per_sec", "speedup"],
+        persist=not SMOKE,
     )
-    # The tentpole's acceptance bar: >= 3x over the per-message baseline.
-    assert rows[1]["speedup"] >= 3.0
+    # The tentpole's acceptance bar: >= 3x over the per-message baseline
+    # (small smoke sizes don't amortize the batching).
+    if not SMOKE:
+        assert rows[1]["speedup"] >= 3.0
 
 
 if __name__ == "__main__":

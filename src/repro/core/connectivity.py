@@ -19,7 +19,7 @@ from ..mpc import Cluster, ModelConfig
 from ..primitives.aggregate import aggregate
 from ..primitives.broadcast import broadcast
 from ..primitives.edgestore import EdgeStore
-from ..sketches import GraphSketchSpec, VertexSketch, sketch_boruvka
+from ..sketches import GraphSketchSpec, SketchBank, SketchRow, bank_boruvka, get_backend
 
 __all__ = ["ConnectivityResult", "heterogeneous_connectivity", "sketch_components"]
 
@@ -31,13 +31,11 @@ class ConnectivityResult:
     labels: list[int]
     num_components: int
     rounds: int
-    cluster: Cluster = field(default=None, repr=False)
+    cluster: Cluster | None = field(default=None, repr=False)
 
 
-def _merge_sketches(a: VertexSketch, b: VertexSketch) -> VertexSketch:
-    merged = a.copy()
-    merged.merge(b)
-    return merged
+def _merge_rows(a: SketchRow, b: SketchRow) -> SketchRow:
+    return a.merge(b)
 
 
 def sketch_components(
@@ -47,10 +45,19 @@ def sketch_components(
     rng: random.Random,
     copies: int = 3,
     note: str = "connectivity",
+    backend: object = None,
 ) -> list[int]:
     """Run Theorem C.1 on the edges in *store*; returns canonical component
-    labels (smallest vertex of each component) for vertices ``0..n-1``."""
+    labels (smallest vertex of each component) for vertices ``0..n-1``.
+
+    *backend* selects the sketch compute backend (``"pure"`` default,
+    ``"numpy"`` when the ``[fast]`` extra is installed); the labels are
+    bit-identical either way.
+    """
     spec = GraphSketchSpec.generate(n, rng, copies=copies)
+    # One backend instance for every bank of this run, so the fingerprint
+    # power tables built for the shared evaluation points are shared too.
+    backend = get_backend(backend)
 
     # One machine generated the seed package; broadcast it (Claim 3 spirit).
     source = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
@@ -59,30 +66,31 @@ def sketch_components(
     )
     broadcast(cluster, source, ("sketch-seeds", seed_words), cluster.small_ids, note=f"{note}/seeds")
 
-    # Each small machine builds partial sketches for the vertices whose
-    # edges it stores (zero rounds: local computation).
+    # Each small machine bulk-builds a partial sketch bank from the edges
+    # it stores (zero rounds: local computation) and ships one counter row
+    # per touched vertex.
     partials_by_machine: dict[int, list] = {}
     for machine in cluster.smalls:
-        local: dict[int, VertexSketch] = {}
-        for edge in machine.get(store.name, []):
-            u, v = edge[0], edge[1]
-            for endpoint in (u, v):
-                if endpoint not in local:
-                    local[endpoint] = VertexSketch(spec, endpoint)
-                local[endpoint].add_edge(u, v)
-        partials_by_machine[machine.machine_id] = list(local.items())
+        local = SketchBank(spec, backend=backend)
+        local.update_edges(
+            (edge[0], edge[1]) for edge in machine.get(store.name, [])
+        )
+        partials_by_machine[machine.machine_id] = local.row_items()
 
-    # Sum the partial sketches per vertex up the aggregation tree (Claim 2).
+    # Sum the partial rows per vertex up the aggregation tree (Claim 2);
+    # rows charge exactly what the legacy per-vertex sketches charged.
     dst = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
-    sketches = aggregate(
-        cluster, partials_by_machine, _merge_sketches, dst=dst, note=f"{note}/sum"
+    rows = aggregate(
+        cluster, partials_by_machine, _merge_rows, dst=dst, note=f"{note}/sum"
     )
+    bank = SketchBank(spec, backend=backend)
+    for vertex, row in rows.items():
+        bank.insert_row(vertex, row)
     for v in range(n):
-        if v not in sketches:
-            sketches[v] = VertexSketch(spec, v)  # isolated vertex
+        bank.add_vertex(v)  # isolated vertices get zero rows
 
     # Local Borůvka in sketch space on the (large) destination machine.
-    uf, _ = sketch_boruvka(spec, sketches)
+    uf, _ = bank_boruvka(bank)
     smallest: dict[int, int] = {}
     for v in range(n):
         root = uf.find(v)
@@ -97,6 +105,7 @@ def heterogeneous_connectivity(
     rng: random.Random | None = None,
     copies: int = 3,
     instances: int = 3,
+    backend: object = None,
 ) -> ConnectivityResult:
     """Identify the connected components of *graph* in O(1) rounds.
 
@@ -122,7 +131,7 @@ def heterogeneous_connectivity(
         for _ in range(max(1, instances)):
             with par.branch():
                 labels = sketch_components(
-                    cluster, store, graph.n, rng, copies=copies
+                    cluster, store, graph.n, rng, copies=copies, backend=backend
                 )
             if best is None or len(set(labels)) < len(set(best)):
                 best = labels

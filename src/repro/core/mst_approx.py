@@ -34,7 +34,7 @@ class MSTApproxResult:
     thresholds: list[int]
     component_counts: dict[int, int]
     rounds: int
-    cluster: Cluster = field(default=None, repr=False)
+    cluster: Cluster | None = field(default=None, repr=False)
 
 
 def geometric_thresholds(max_weight: int, epsilon: float) -> list[int]:
@@ -53,6 +53,7 @@ def approximate_mst_weight(
     config: ModelConfig | None = None,
     rng: random.Random | None = None,
     copies: int = 3,
+    backend: object = None,
 ) -> MSTApproxResult:
     """Estimate the MST weight of a connected weighted graph within a
     ``(1+eps)`` factor, in O(1) rounds.
@@ -91,7 +92,13 @@ def approximate_mst_weight(
                     )
                 level_store = EdgeStore(cluster, level_name)
                 labels = sketch_components(
-                    cluster, level_store, graph.n, rng, copies=copies, note=f"cc{t}"
+                    cluster,
+                    level_store,
+                    graph.n,
+                    rng,
+                    copies=copies,
+                    note=f"cc{t}",
+                    backend=backend,
                 )
                 counts[t] = len(set(labels))
                 level_store.drop()

@@ -1,7 +1,29 @@
 """Linear sketching substrate: k-wise hashing, one-sparse recovery,
-ℓ₀-samplers, and AGM graph sketches."""
+ℓ₀-samplers, and AGM graph sketches.
 
-from .field import PRIME, KWiseHash, trailing_zeros
+Two layers coexist:
+
+* the **object API** (:class:`OneSparseSketch`, :class:`L0Sampler`,
+  :class:`VertexSketch`) — one small object per counter group, convenient
+  for unit-scale use; its methods behave exactly as the seed did
+  (``VertexSketch.samplers`` is now a read-only snapshot);
+* the **bank API** (:class:`SketchBank`, :class:`SketchRow`,
+  :func:`bank_boruvka`) — the array-backed substrate: all
+  ``(phase, copy, level)`` one-sparse counters of a vertex set in three
+  flat arrays, bulk edge updates that compute each edge's hashes and
+  fingerprint powers once for both endpoints, and slice-based
+  merge/copy/zero-test.  Heavy arithmetic runs behind the backend seam of
+  :mod:`repro.sketches.backend` (pure-Python default, optional numpy via
+  ``pip install .[fast]``).
+
+Equivalence policy: with fixed seeds, both layers and both backends
+produce bit-identical counters, samples, and component labels; this is
+pinned by golden and property tests.
+"""
+
+from .backend import HAS_NUMPY, available_backends, get_backend
+from .bank import SketchBank, SketchRow, bank_boruvka
+from .field import PRIME, KWiseHash, fingerprint_power, trailing_zeros
 from .graph_sketch import (
     GraphSketchSpec,
     VertexSketch,
@@ -16,14 +38,21 @@ from .onesparse import OneSparseSketch
 __all__ = [
     "PRIME",
     "KWiseHash",
+    "fingerprint_power",
     "trailing_zeros",
     "OneSparseSketch",
     "L0Sampler",
     "L0SamplerSeeds",
     "GraphSketchSpec",
     "VertexSketch",
+    "SketchBank",
+    "SketchRow",
+    "bank_boruvka",
     "components_from_sketches",
     "edge_from_id",
     "edge_id",
     "sketch_boruvka",
+    "get_backend",
+    "available_backends",
+    "HAS_NUMPY",
 ]

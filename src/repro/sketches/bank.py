@@ -1,0 +1,440 @@
+"""Array-backed ℓ₀ banks: the vectorized substrate behind the AGM sketches.
+
+The seed implementation kept one :class:`~repro.sketches.l0.L0Sampler`
+object per ``(vertex, phase, copy)`` and one
+:class:`~repro.sketches.onesparse.OneSparseSketch` object per level inside
+it — thousands of tiny Python objects per vertex, each edge update walking
+them with per-object method dispatch and redoing the identical hash and
+modular exponentiation for *both* endpoints.  A :class:`SketchBank` stores
+the same state as three flat integer arrays:
+
+    slot(row, phase, copy, level) = row * S + (phase * copies + copy) * L + level
+
+with ``L`` levels per sampler and ``S = phases * copies * L`` slots per
+vertex row, holding the one-sparse counters ``(s0, s1, s2)`` of the AGM
+vertex vectors (``s0 = Σ δ``, ``s1 = Σ id·δ``, ``s2 = Σ δ·z^id mod p``).
+
+Batched update math (:meth:`SketchBank.update_edges`): for each edge
+``{u, v}`` the bank computes the edge id and, per ``(phase, copy)``
+sampler, the geometric level depth ``trailing_zeros(h(id + 1))`` **once**
+— via a single batched Horner pass over the whole edge vector — and, per
+surviving level, the fingerprint power ``z^id mod p`` **once**, applying
+it with ``+1`` to the smaller endpoint's row and ``-1`` to the larger's.
+The seed path recomputed every hash and every power twice (once per
+endpoint) and once per object layer.  All heavy arithmetic goes through
+the backend seam of :mod:`repro.sketches.backend`, so the same bank runs
+on pure-Python or numpy kernels with bit-identical results.
+
+Merging supernode rows, copying banks, and zero tests are bulk slice
+operations; :func:`bank_boruvka` runs Borůvka in sketch space directly on
+a bank, mirroring the legacy object loop decision for decision so that
+component labels are bit-identical to the seed implementation for fixed
+seeds (pinned by ``tests/integration/test_sketch_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..graph.union_find import UnionFind
+from .backend import get_backend
+from .field import PRIME, fingerprint_power, trailing_zeros
+
+__all__ = ["SketchRow", "SketchBank", "bank_boruvka", "edge_id", "edge_from_id"]
+
+
+def edge_id(n: int, u: int, v: int) -> int:
+    if u > v:
+        u, v = v, u
+    return u * n + v
+
+
+def edge_from_id(n: int, identifier: int) -> tuple[int, int]:
+    return divmod(identifier, n)
+
+
+class SketchRow:
+    """One vertex's flat counter row, detached from its bank.
+
+    This is the unit shipped through the aggregation tree: machines
+    extract rows from their partial banks, the converge-cast merges rows
+    per vertex, and the destination machine reassembles a bank.  Its word
+    cost matches the legacy ``VertexSketch`` charge exactly (one word of
+    vertex identity plus three counters per slot), keeping every ledger
+    unchanged by the migration.
+    """
+
+    __slots__ = ("s0", "s1", "s2")
+
+    def __init__(self, s0: list[int], s1: list[int], s2: list[int]) -> None:
+        self.s0 = s0
+        self.s1 = s1
+        self.s2 = s2
+
+    def merge(self, other: "SketchRow") -> "SketchRow":
+        """Return the sum row (sketches are linear); inputs are untouched."""
+        return SketchRow(
+            [a + b for a, b in zip(self.s0, other.s0)],
+            [a + b for a, b in zip(self.s1, other.s1)],
+            [(a + b) % PRIME for a, b in zip(self.s2, other.s2)],
+        )
+
+    def word_size(self) -> int:
+        return 1 + 3 * len(self.s0)
+
+
+class SketchBank:
+    """All ``(phase, copy, level)`` one-sparse counters for a vertex set."""
+
+    __slots__ = (
+        "spec",
+        "backend",
+        "num_levels",
+        "num_samplers",
+        "slots_per_row",
+        "row_of",
+        "vertices",
+        "s0",
+        "s1",
+        "s2",
+        "_flat_seeds",
+        "_z_flat",
+        "_max_id",
+    )
+
+    def __init__(
+        self, spec, vertices: Iterable[int] = (), backend: object = None
+    ) -> None:
+        self.spec = spec
+        self.backend = get_backend(backend)
+        flat_seeds = [seeds for phase_seeds in spec.seeds for seeds in phase_seeds]
+        level_counts = {seeds.num_levels for seeds in flat_seeds}
+        if len(level_counts) != 1:
+            raise ValueError("bank requires a uniform level count across samplers")
+        self.num_levels = level_counts.pop()
+        self.num_samplers = len(flat_seeds)
+        self.slots_per_row = self.num_samplers * self.num_levels
+        self._flat_seeds = flat_seeds
+        self._z_flat = [z for seeds in flat_seeds for z in seeds.z_points]
+        self._max_id = spec.n * spec.n
+        self.row_of: dict[int, int] = {}
+        self.vertices: list[int] = []
+        self.s0: list[int] = []
+        self.s1: list[int] = []
+        self.s2: list[int] = []
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    # ------------------------------------------------------------------
+    # rows
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: int) -> int:
+        """Ensure *vertex* has a row (zero counters); return its index."""
+        row = self.row_of.get(vertex)
+        if row is None:
+            row = self.row_of[vertex] = len(self.vertices)
+            self.vertices.append(vertex)
+            zeros = [0] * self.slots_per_row
+            self.s0.extend(zeros)
+            self.s1.extend(zeros)
+            self.s2.extend(zeros)
+        return row
+
+    def row(self, vertex: int) -> SketchRow:
+        """Extract a detached copy of *vertex*'s counter row."""
+        start = self.row_of[vertex] * self.slots_per_row
+        end = start + self.slots_per_row
+        return SketchRow(self.s0[start:end], self.s1[start:end], self.s2[start:end])
+
+    def row_items(self) -> list[tuple[int, SketchRow]]:
+        """``(vertex, row)`` pairs in insertion order — aggregation payload."""
+        return [(vertex, self.row(vertex)) for vertex in self.vertices]
+
+    def insert_row(self, vertex: int, row: SketchRow) -> None:
+        """Add *row* into *vertex*'s row (creating it if missing)."""
+        self.add_vertex(vertex)
+        self._merge_row_data(self.row_of[vertex], row.s0, row.s1, row.s2, 0)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def update_edges(self, edges: Iterable[tuple]) -> None:
+        """Bulk-apply undirected edges to both endpoint rows.
+
+        Edge ``{u, v}`` (id ``min*n + max``) contributes ``+1`` to the
+        smaller endpoint's vector and ``-1`` to the larger's.  Hash
+        evaluations, level depths, and fingerprint powers are computed
+        once per edge and shared by both endpoints; see the module
+        docstring for the batching scheme.
+        """
+        n = self.spec.n
+        pairs: list[tuple[int, int, int]] = []
+        loops: list[tuple[int, int]] = []
+        for edge in edges:
+            u, v = edge[0], edge[1]
+            ru = self.add_vertex(u)
+            rv = self.add_vertex(v)
+            if u == v:
+                loops.append((u, v))
+            elif u < v:
+                pairs.append((ru, rv, u * n + v))
+            else:
+                pairs.append((rv, ru, v * n + u))
+        for u, v in loops:  # rare; mirrors the object API's semantics
+            self.add_incident(u, u, v)
+            self.add_incident(v, u, v)
+        if not pairs:
+            return
+
+        backend = self.backend
+        levels = self.num_levels
+        slots = self.slots_per_row
+        max_id = self._max_id
+        ids = [p[2] for p in pairs]
+        urows = [p[0] * slots for p in pairs]
+        vrows = [p[1] * slots for p in pairs]
+        xs = [(i + 1) % PRIME for i in ids]
+        s0, s1, s2 = self.s0, self.s1, self.s2
+        everything = range(len(pairs))
+        for j, seeds in enumerate(self._flat_seeds):
+            hashed = backend.poly_eval_many(
+                seeds.level_hash.coefficients, xs, reduce_inputs=False
+            )
+            depths = backend.trailing_zeros_many(hashed)
+            z_points = seeds.z_points
+            base = j * levels
+            sel: Iterable[int] = everything
+            for level in range(levels):
+                if level:
+                    sel = [k for k in sel if depths[k] >= level]
+                    if not sel:
+                        break
+                ids_sel = ids if level == 0 else [ids[k] for k in sel]
+                powers = backend.pow_many(
+                    z_points[level], ids_sel, max_exponent=max_id
+                )
+                slot = base + level
+                for k, i, f in zip(sel, ids_sel, powers):
+                    a = urows[k] + slot
+                    s0[a] += 1
+                    s1[a] += i
+                    s2[a] = (s2[a] + f) % PRIME
+                    a = vrows[k] + slot
+                    s0[a] -= 1
+                    s1[a] -= i
+                    s2[a] = (s2[a] - f) % PRIME
+
+    def add_incident(self, vertex: int, u: int, v: int) -> None:
+        """Account for incident edge ``{u, v}`` in *vertex*'s row only.
+
+        The single-edge path behind the legacy ``VertexSketch.add_edge``;
+        fingerprint powers come from the shared cache, so the second
+        endpoint of an edge never redoes the exponentiation.
+        """
+        if vertex not in (u, v):
+            raise ValueError("edge not incident to this vertex")
+        row = self.add_vertex(vertex)
+        lo, hi = (u, v) if u <= v else (v, u)
+        identifier = lo * self.spec.n + hi
+        sign = 1 if vertex == lo else -1
+        levels = self.num_levels
+        x = identifier + 1
+        s0, s1, s2 = self.s0, self.s1, self.s2
+        base = row * self.slots_per_row
+        for j, seeds in enumerate(self._flat_seeds):
+            depth = trailing_zeros(seeds.level_hash(x))
+            top = min(depth, levels - 1)
+            z_points = seeds.z_points
+            slot = base + j * levels
+            for level in range(top + 1):
+                f = fingerprint_power(z_points[level], identifier)
+                a = slot + level
+                s0[a] += sign
+                s1[a] += identifier * sign
+                s2[a] = (s2[a] + sign * f) % PRIME
+
+    # ------------------------------------------------------------------
+    # merging / copying
+    # ------------------------------------------------------------------
+    def _merge_row_data(
+        self,
+        dst_row: int,
+        src_s0: list[int],
+        src_s1: list[int],
+        src_s2: list[int],
+        src_offset: int,
+    ) -> None:
+        slots = self.slots_per_row
+        a = dst_row * slots
+        b = src_offset
+        self.s0[a : a + slots] = [
+            x + y for x, y in zip(self.s0[a : a + slots], src_s0[b : b + slots])
+        ]
+        self.s1[a : a + slots] = [
+            x + y for x, y in zip(self.s1[a : a + slots], src_s1[b : b + slots])
+        ]
+        self.s2[a : a + slots] = [
+            (x + y) % PRIME
+            for x, y in zip(self.s2[a : a + slots], src_s2[b : b + slots])
+        ]
+
+    def _check_compatible(self, other: "SketchBank") -> None:
+        if other.spec is not self.spec and other.spec != self.spec:
+            raise ValueError("cannot merge sketches with different seeds")
+
+    def merge_vertices(self, dst: int, src: int) -> None:
+        """Add *src*'s row into *dst*'s row (supernode merge)."""
+        self._merge_row_by_index(self.row_of[dst], self.row_of[src])
+
+    def _merge_row_by_index(self, dst_row: int, src_row: int) -> None:
+        self._merge_row_data(
+            dst_row, self.s0, self.s1, self.s2, src_row * self.slots_per_row
+        )
+
+    def merge_row_from(
+        self, other: "SketchBank", src_vertex: int, dst_vertex: int | None = None
+    ) -> None:
+        """Add *other*'s row for *src_vertex* into our *dst_vertex* row."""
+        self._check_compatible(other)
+        if dst_vertex is None:
+            dst_vertex = src_vertex
+        dst_row = self.add_vertex(dst_vertex)
+        offset = other.row_of[src_vertex] * other.slots_per_row
+        self._merge_row_data(dst_row, other.s0, other.s1, other.s2, offset)
+
+    def absorb(self, other: "SketchBank") -> None:
+        """Merge every row of *other* into this bank, vertex by vertex."""
+        self._check_compatible(other)
+        for vertex in other.vertices:
+            self.merge_row_from(other, vertex)
+
+    def copy(self) -> "SketchBank":
+        clone = SketchBank.__new__(SketchBank)
+        clone.spec = self.spec
+        clone.backend = self.backend
+        clone.num_levels = self.num_levels
+        clone.num_samplers = self.num_samplers
+        clone.slots_per_row = self.slots_per_row
+        clone._flat_seeds = self._flat_seeds
+        clone._z_flat = self._z_flat
+        clone._max_id = self._max_id
+        clone.row_of = dict(self.row_of)
+        clone.vertices = list(self.vertices)
+        clone.s0 = self.s0[:]
+        clone.s1 = self.s1[:]
+        clone.s2 = self.s2[:]
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_zero_vertex(self, vertex: int) -> bool:
+        start = self.row_of[vertex] * self.slots_per_row
+        end = start + self.slots_per_row
+        return (
+            not any(self.s0[start:end])
+            and not any(self.s1[start:end])
+            and not any(self.s2[start:end])
+        )
+
+    def _decode(self, index: int, z: int) -> tuple[int, int] | None:
+        """One-sparse recovery at flat slot *index* (mirrors
+        ``OneSparseSketch.decode`` exactly)."""
+        s0 = self.s0[index]
+        if s0 == 0:
+            return None
+        s1 = self.s1[index]
+        if s1 % s0 != 0:
+            return None
+        coordinate = s1 // s0
+        if coordinate < 0:
+            return None
+        if (s0 % PRIME) * fingerprint_power(z, coordinate) % PRIME != self.s2[index]:
+            return None
+        return coordinate, s0
+
+    def _sample_row(self, row: int, phase: int) -> tuple[int, int] | None:
+        levels = self.num_levels
+        copies = self.spec.copies
+        row_base = row * self.slots_per_row
+        for copy_index in range(copies):
+            sampler = phase * copies + copy_index
+            base = sampler * levels
+            for level in range(levels - 1, -1, -1):
+                decoded = self._decode(
+                    row_base + base + level, self._z_flat[base + level]
+                )
+                if decoded is not None:
+                    return edge_from_id(self.spec.n, decoded[0])
+        return None
+
+    def sample_outgoing(self, vertex: int, phase: int) -> tuple[int, int] | None:
+        """Sample an edge leaving *vertex*'s (super)vector using the given
+        phase's samplers; tries the independent copies in order, levels
+        from deepest to shallowest — the legacy scan order."""
+        return self._sample_row(self.row_of[vertex], phase)
+
+    def decode_slot(
+        self, vertex: int, phase: int, copy: int, level: int
+    ) -> tuple[int, int] | None:
+        """One-sparse recovery of a single addressed counter."""
+        sampler = phase * self.spec.copies + copy
+        offset = sampler * self.num_levels + level
+        index = self.row_of[vertex] * self.slots_per_row + offset
+        return self._decode(index, self._z_flat[offset])
+
+    def word_size(self) -> int:
+        """Total storage charge: every row costs what the legacy
+        ``VertexSketch`` charged (one identity word + three counters per
+        slot; evaluation points are part of the shared seed package)."""
+        return len(self.vertices) * (1 + 3 * self.slots_per_row)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self.row_of
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vertices)
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+def bank_boruvka(bank: SketchBank) -> tuple[UnionFind, list[tuple[int, int]]]:
+    """Borůvka over a sketch bank (the large machine's local computation).
+
+    Returns the component structure over the bank's vertices and the
+    sampled edges that realized each union.  The loop mirrors the legacy
+    object implementation decision for decision — same root set, same
+    proposal order, same row-aliasing after unions — so its output is
+    bit-identical for equal bank contents.
+    """
+    uf = UnionFind(bank.vertices)
+    work = bank.copy()
+    row_ref = dict(work.row_of)
+    forest: list[tuple[int, int]] = []
+
+    for phase in range(bank.spec.phases):
+        roots = {uf.find(v) for v in work.vertices}
+        if len(roots) <= 1:
+            break
+        proposals: list[tuple[int, int]] = []
+        for root in roots:
+            sampled = work._sample_row(row_ref[root], phase)
+            if sampled is not None:
+                proposals.append(sampled)
+        if not proposals:
+            # No supernode found an outgoing edge.  Either every cut is
+            # empty (components are final) or all samplers failed, which
+            # happens with probability exponentially small in the number
+            # of copies; later phases cannot recover, so stop either way.
+            break
+        for u, v in proposals:
+            ru, rv = uf.find(u), uf.find(v)
+            if ru != rv:
+                work._merge_row_by_index(row_ref[ru], row_ref[rv])
+                uf.union(u, v)
+                keep = uf.find(u)
+                if keep != ru:
+                    row_ref[keep] = row_ref[ru]
+                forest.append((u, v))
+    return uf, forest

@@ -9,8 +9,9 @@ independent and cheap to evaluate.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 
-__all__ = ["PRIME", "KWiseHash", "trailing_zeros"]
+__all__ = ["PRIME", "KWiseHash", "fingerprint_power", "trailing_zeros"]
 
 PRIME = (1 << 61) - 1
 
@@ -29,10 +30,38 @@ class KWiseHash:
 
     def __call__(self, x: int) -> int:
         # Horner evaluation of the random polynomial at x, mod PRIME.
+        # Reduce x once up front so every Horner step multiplies two
+        # sub-61-bit residues instead of dragging a large x through.
+        x %= PRIME
         acc = 0
         for coefficient in self.coefficients:
             acc = (acc * x + coefficient) % PRIME
         return acc
+
+    def eval_many(self, xs, backend: object = None) -> list[int]:
+        """Evaluate the hash at every point of *xs* in one batched pass.
+
+        Delegates to a sketch backend (see :mod:`repro.sketches.backend`):
+        the pure backend runs one list pass per coefficient, the numpy
+        backend one vectorized multiply-add per coefficient.  Results are
+        bit-identical to calling the hash point by point.
+        """
+        from .backend import get_backend  # local import: avoids a cycle
+
+        return get_backend(backend).poly_eval_many(self.coefficients, xs)
+
+
+@lru_cache(maxsize=1 << 16)
+def fingerprint_power(z: int, index: int) -> int:
+    """Cached ``z ** index mod PRIME``.
+
+    Decoding retries the same candidate index across every copy, phase and
+    Borůvka round (and both endpoints of an edge contribute the same
+    fingerprint power during updates), so the modular exponentiation is
+    recomputed many times for identical arguments; a small shared cache
+    removes the repeats.
+    """
+    return pow(z, index, PRIME)
 
 
 def trailing_zeros(value: int) -> int:

@@ -13,6 +13,13 @@ previous one, each phase must use fresh, independent samplers; a
 :class:`GraphSketchSpec` carries ``phases x copies`` independent seed
 packages (the extra copies boost the constant success probability of a
 single sampler).
+
+Since the vectorized-substrate migration the counters live in an
+array-backed :class:`~repro.sketches.bank.SketchBank`;
+:class:`VertexSketch` remains as a thin compatible wrapper over a
+single-row bank, and :func:`sketch_boruvka` assembles the object inputs
+into a bank and runs :func:`~repro.sketches.bank.bank_boruvka`.  Both
+produce bit-identical results to the seed per-object implementation.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import random
 from dataclasses import dataclass
 
 from ..graph.union_find import UnionFind
+from .bank import SketchBank, bank_boruvka, edge_from_id, edge_id
 from .l0 import L0Sampler, L0SamplerSeeds
 
 __all__ = [
@@ -31,16 +39,6 @@ __all__ = [
     "sketch_boruvka",
     "components_from_sketches",
 ]
-
-
-def edge_id(n: int, u: int, v: int) -> int:
-    if u > v:
-        u, v = v, u
-    return u * n + v
-
-
-def edge_from_id(n: int, identifier: int) -> tuple[int, int]:
-    return divmod(identifier, n)
 
 
 @dataclass(frozen=True)
@@ -77,55 +75,66 @@ class GraphSketchSpec:
 
 
 class VertexSketch:
-    """All samplers of one vertex (or one merged supernode)."""
+    """All samplers of one vertex (or one merged supernode).
 
-    __slots__ = ("spec", "vertex", "samplers")
+    A thin compatible wrapper over a single-row :class:`SketchBank`: the
+    legacy method API is preserved bit for bit, but the counters live in
+    the bank's flat arrays — ``samplers`` is a read-only snapshot
+    materialized on access, so mutate through the methods, not through it.
+    """
 
-    def __init__(self, spec: GraphSketchSpec, vertex: int) -> None:
+    __slots__ = ("spec", "vertex", "bank")
+
+    def __init__(self, spec: GraphSketchSpec, vertex: int, backend: object = None) -> None:
         self.spec = spec
         self.vertex = vertex
-        self.samplers = [
-            [L0Sampler(seed) for seed in phase_seeds] for phase_seeds in spec.seeds
-        ]
+        self.bank = SketchBank(spec, (vertex,), backend=backend)
 
     def add_edge(self, u: int, v: int) -> None:
         """Account for incident edge ``{u, v}`` in this vertex's vector."""
         if self.vertex not in (u, v):
             raise ValueError("edge not incident to this vertex")
-        identifier = edge_id(self.spec.n, u, v)
-        sign = 1 if self.vertex == min(u, v) else -1
-        for phase in self.samplers:
-            for sampler in phase:
-                sampler.update(identifier, sign)
+        self.bank.add_incident(self.vertex, u, v)
 
     def merge(self, other: "VertexSketch") -> None:
-        for mine, theirs in zip(self.samplers, other.samplers):
-            for sampler_a, sampler_b in zip(mine, theirs):
-                sampler_a.merge(sampler_b)
+        self.bank.merge_row_from(
+            other.bank, src_vertex=other.vertex, dst_vertex=self.vertex
+        )
 
     def copy(self) -> "VertexSketch":
         clone = VertexSketch.__new__(VertexSketch)
         clone.spec = self.spec
         clone.vertex = self.vertex
-        clone.samplers = [
-            [sampler.copy() for sampler in phase] for phase in self.samplers
-        ]
+        clone.bank = self.bank.copy()
         return clone
+
+    @property
+    def samplers(self) -> list[list[L0Sampler]]:
+        """Read-only snapshot of the legacy object layout, materialized
+        from the bank row (mutations do not write back)."""
+        bank = self.bank
+        index = bank.row_of[self.vertex] * bank.slots_per_row
+        out: list[list[L0Sampler]] = []
+        for phase_seeds in self.spec.seeds:
+            phase_list = []
+            for seeds in phase_seeds:
+                sampler = L0Sampler(seeds)
+                for level_sketch in sampler.levels:
+                    level_sketch.s0 = bank.s0[index]
+                    level_sketch.s1 = bank.s1[index]
+                    level_sketch.s2 = bank.s2[index]
+                    index += 1
+                phase_list.append(sampler)
+            out.append(phase_list)
+        return out
 
     def sample_outgoing(self, phase: int) -> tuple[int, int] | None:
         """Sample an edge leaving this (super)vertex using the given phase's
         fresh samplers; tries the independent copies in order."""
-        for sampler in self.samplers[phase]:
-            result = sampler.sample()
-            if result is not None:
-                identifier, _ = result
-                return edge_from_id(self.spec.n, identifier)
-        return None
+        return self.bank.sample_outgoing(self.vertex, phase)
 
     def word_size(self) -> int:
-        return 1 + sum(
-            sampler.word_size() for phase in self.samplers for sampler in phase
-        )
+        return self.bank.word_size()
 
 
 def sketch_boruvka(
@@ -134,35 +143,11 @@ def sketch_boruvka(
     """Borůvka over sketches (the large machine's local computation in
     Theorem C.1).  Returns the component structure and the sampled edges
     that realized each union (a spanning forest of the component graph)."""
-    uf = UnionFind(sketches.keys())
-    merged: dict[int, VertexSketch] = {v: s.copy() for v, s in sketches.items()}
-    forest: list[tuple[int, int]] = []
-
-    for phase in range(spec.phases):
-        roots = {uf.find(v) for v in sketches}
-        if len(roots) <= 1:
-            break
-        proposals: list[tuple[int, int]] = []
-        for root in roots:
-            sampled = merged[root].sample_outgoing(phase)
-            if sampled is not None:
-                proposals.append(sampled)
-        if not proposals:
-            # No supernode found an outgoing edge.  Either every cut is
-            # empty (components are final) or all samplers failed, which
-            # happens with probability exponentially small in the number
-            # of copies; later phases cannot recover, so stop either way.
-            break
-        for u, v in proposals:
-            ru, rv = uf.find(u), uf.find(v)
-            if ru != rv:
-                merged[ru].merge(merged[rv])
-                uf.union(u, v)
-                keep = uf.find(u)
-                if keep != ru:
-                    merged[keep] = merged[ru]
-                forest.append((u, v))
-    return uf, forest
+    bank = SketchBank(spec)
+    for vertex, sketch in sketches.items():
+        bank.add_vertex(vertex)
+        bank.merge_row_from(sketch.bank, src_vertex=sketch.vertex, dst_vertex=vertex)
+    return bank_boruvka(bank)
 
 
 def components_from_sketches(
@@ -170,8 +155,8 @@ def components_from_sketches(
 ) -> list[int]:
     """Canonical component labels (smallest vertex per component)."""
     uf, _ = sketch_boruvka(spec, sketches)
+    ordered = sorted(sketches)
     smallest: dict[int, int] = {}
-    for v in sorted(sketches):
-        root = uf.find(v)
-        smallest.setdefault(root, v)
-    return [smallest[uf.find(v)] for v in sorted(sketches)]
+    for v in ordered:
+        smallest.setdefault(uf.find(v), v)
+    return [smallest[uf.find(v)] for v in ordered]

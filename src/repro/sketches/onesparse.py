@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from .field import PRIME
+from .field import PRIME, fingerprint_power
 
 __all__ = ["OneSparseSketch"]
 
@@ -72,7 +72,7 @@ class OneSparseSketch:
         index = self.s1 // self.s0
         if index < 0:
             return None
-        expected = (self.s0 % PRIME) * pow(self.z, index, PRIME) % PRIME
+        expected = (self.s0 % PRIME) * fingerprint_power(self.z, index) % PRIME
         if expected != self.s2:
             return None
         return index, self.s0

@@ -1,0 +1,203 @@
+"""Backend seam equivalence: pure-Python, numpy, and the legacy object API
+must produce bit-identical sketches, samples, and component labels."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import (
+    HAS_NUMPY,
+    GraphSketchSpec,
+    KWiseHash,
+    PRIME,
+    SketchBank,
+    VertexSketch,
+    available_backends,
+    bank_boruvka,
+    get_backend,
+    sketch_boruvka,
+    trailing_zeros,
+)
+from repro.sketches.backend import NumpyBackend, PureBackend
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+# ----------------------------------------------------------------------
+# backend resolution
+# ----------------------------------------------------------------------
+def test_default_backend_is_pure(monkeypatch):
+    monkeypatch.delenv("REPRO_SKETCH_BACKEND", raising=False)
+    assert isinstance(get_backend(), PureBackend)
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_SKETCH_BACKEND", "pure")
+    assert isinstance(get_backend(), PureBackend)
+
+
+def test_backend_instance_passthrough():
+    backend = PureBackend()
+    assert get_backend(backend) is backend
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        get_backend("cuda")
+
+
+def test_available_backends_always_include_pure():
+    names = available_backends()
+    assert "pure" in names
+    assert ("numpy" in names) == HAS_NUMPY
+
+
+def test_auto_resolves():
+    backend = get_backend("auto")
+    assert isinstance(backend, NumpyBackend if HAS_NUMPY else PureBackend)
+
+
+# ----------------------------------------------------------------------
+# kernel equivalence
+# ----------------------------------------------------------------------
+def kernel_backends():
+    backends = [PureBackend()]
+    if HAS_NUMPY:
+        backends.append(NumpyBackend())
+    return backends
+
+
+@pytest.mark.parametrize("backend", kernel_backends(), ids=lambda b: b.name)
+def test_poly_eval_many_matches_pointwise(backend):
+    hash_fn = KWiseHash(8, random.Random(3))
+    xs = [0, 1, 2, PRIME - 1, PRIME, PRIME + 7, 12345, 2**60]
+    assert backend.poly_eval_many(hash_fn.coefficients, xs) == [
+        hash_fn(x) for x in xs
+    ]
+    assert hash_fn.eval_many(xs, backend=backend) == [hash_fn(x) for x in xs]
+    assert backend.poly_eval_many(hash_fn.coefficients, []) == []
+
+
+@pytest.mark.parametrize("backend", kernel_backends(), ids=lambda b: b.name)
+def test_trailing_zeros_many_matches_scalar(backend):
+    rng = random.Random(5)
+    values = [0, 1, 2, 8, 12, PRIME - 1] + [rng.randrange(PRIME) for _ in range(200)]
+    assert backend.trailing_zeros_many(values) == [trailing_zeros(v) for v in values]
+
+
+@pytest.mark.parametrize("backend", kernel_backends(), ids=lambda b: b.name)
+def test_pow_many_matches_pow(backend):
+    rng = random.Random(7)
+    z = rng.randrange(1, PRIME)
+    exponents = [0, 1, 2, 63, 4095] + [rng.randrange(10**6) for _ in range(300)]
+    expected = [pow(z, e, PRIME) for e in exponents]
+    assert backend.pow_many(z, exponents, max_exponent=10**6) == expected
+    assert backend.pow_many(z, [], max_exponent=10**6) == []
+
+
+def test_pure_pow_many_table_path_is_exact():
+    """Force the baby-step/giant-step table (large batch) and the direct
+    path (tiny batch) to agree with pow, including out-of-hint exponents."""
+    rng = random.Random(11)
+    z = rng.randrange(1, PRIME)
+    backend = PureBackend()
+    big = [rng.randrange(5000) for _ in range(2000)]
+    assert backend.pow_many(z, big, max_exponent=5000) == [
+        pow(z, e, PRIME) for e in big
+    ]
+    assert z in backend._pow_tables
+    # Exponents beyond the table's reach fall back to pow, exactly.
+    beyond = [10**7 + 1, 3, 10**9]
+    assert backend.pow_many(z, beyond, max_exponent=5000) == [
+        pow(z, e, PRIME) for e in beyond
+    ]
+    fresh = PureBackend()
+    small = [1, 2, 3]
+    assert fresh.pow_many(z, small, max_exponent=10**12) == [
+        pow(z, e, PRIME) for e in small
+    ]
+    assert z not in fresh._pow_tables  # tiny batch: no table built
+
+
+@needs_numpy
+def test_numpy_mulmod_extremes():
+    backend = NumpyBackend()
+    import numpy as np
+
+    values = [0, 1, 2, PRIME - 1, PRIME - 2, (1 << 60) + 12345]
+    a = np.array(values, dtype=np.uint64)
+    for other in values:
+        got = backend._mulmod(a, np.uint64(other))
+        assert [int(x) for x in got] == [(v * other) % PRIME for v in values]
+
+
+# ----------------------------------------------------------------------
+# end-to-end equivalence: object API vs bank(pure) vs bank(numpy)
+# ----------------------------------------------------------------------
+def _random_graph(seed):
+    rng = random.Random(seed)
+    n = rng.randrange(2, 20)
+    m = rng.randrange(0, 2 * n + 1)
+    edges = []
+    for _ in range(m):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v))
+    return n, edges
+
+
+def _labels_from_uf(uf, vertices):
+    smallest = {}
+    for v in vertices:
+        smallest.setdefault(uf.find(v), v)
+    return [smallest[uf.find(v)] for v in vertices]
+
+
+def _object_path(spec, n, edges):
+    sketches = {v: VertexSketch(spec, v) for v in range(n)}
+    for u, v in edges:
+        sketches[u].add_edge(u, v)
+        sketches[v].add_edge(u, v)
+    return sketches
+
+
+def _bank_path(spec, n, edges, backend):
+    bank = SketchBank(spec, vertices=range(n), backend=backend)
+    bank.update_edges(edges)
+    return bank
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_backends_and_object_api_agree(seed):
+    n, edges = _random_graph(seed)
+    spec = GraphSketchSpec.generate(n, random.Random(seed + 1), copies=2)
+    sketches = _object_path(spec, n, edges)
+    banks = {
+        name: _bank_path(spec, n, edges, backend=name)
+        for name in available_backends()
+    }
+
+    pure = banks["pure"]
+    for vertex in range(n):
+        object_row = sketches[vertex].bank.row(vertex)
+        for bank in banks.values():
+            row = bank.row(vertex)
+            assert (
+                row.s0 == object_row.s0
+                and row.s1 == object_row.s1
+                and row.s2 == object_row.s2
+            )
+        for phase in range(spec.phases):
+            expected = sketches[vertex].sample_outgoing(phase)
+            for bank in banks.values():
+                assert bank.sample_outgoing(vertex, phase) == expected
+
+    object_uf, object_forest = sketch_boruvka(spec, sketches)
+    expected_labels = _labels_from_uf(object_uf, range(n))
+    for bank in banks.values():
+        uf, forest = bank_boruvka(bank)
+        assert forest == object_forest
+        assert _labels_from_uf(uf, range(n)) == expected_labels
