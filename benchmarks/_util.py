@@ -1,19 +1,31 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark renders its paper-vs-measured table, prints it (visible
-with ``pytest benchmarks/ --benchmark-only -s``) and writes it to
-``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote real
-artifacts.
+Scenario benchmarks are thin wrappers: :func:`run_scenario_benchmark`
+looks the scenario up in ``repro.experiments.registry``, executes it
+through the shared ``Runner``, prints the table (visible with ``pytest
+benchmarks/ --benchmark-only -s``) and persists both the text table and
+the ``repro.bench/1`` JSON artifact to ``benchmarks/results/`` — the
+inputs ``python -m repro report`` turns into ``docs/REPRODUCTION.md``.
+
+The stand-alone throughput benchmarks still use :func:`publish` directly.
+Setting ``REPRO_BENCH_SMOKE=1`` switches scenario runs to quick sizing
+and disables persistence (CI smoke runs must not clobber committed
+artifacts).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Any, Sequence
 
 from repro.analysis import render_table
+from repro.experiments import Runner, ScenarioRun, get_scenario
+from repro.experiments.artifacts import text_header
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def publish(
@@ -24,11 +36,29 @@ def publish(
     persist: bool = True,
 ) -> str:
     """Render, print, and (unless *persist* is false — e.g. CI smoke runs
-    at tiny sizes) persist one experiment table."""
+    at tiny sizes) persist one experiment table.  Persisted text carries a
+    schema-version header line so text and JSON artifacts stay
+    correlated."""
     table = render_table(rows, columns)
     text = f"{title}\n{'=' * len(title)}\n{table}\n"
     print("\n" + text)
     if persist:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{experiment}.txt").write_text(text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{experiment}.txt").write_text(
+            text_header(experiment) + text
+        )
     return text
+
+
+def run_scenario_benchmark(benchmark, name: str) -> ScenarioRun:
+    """Run registry scenario *name* under pytest-benchmark and persist its
+    artifacts (text + JSON).  ``REPRO_BENCH_SMOKE=1`` runs quick sizing
+    without persisting."""
+    scenario = get_scenario(name)
+    runner = Runner(results_dir=None if SMOKE else RESULTS_DIR)
+    run = benchmark.pedantic(
+        lambda: runner.run(scenario, quick=SMOKE), rounds=1, iterations=1
+    )
+    runner.persist(run, json_artifact=True)
+    print("\n" + run.render_text())
+    return run

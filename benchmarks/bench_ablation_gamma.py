@@ -1,71 +1,13 @@
-"""Ablation — the small-machine memory exponent γ.
+"""gamma ablation (machine count vs primitive costs) — a thin wrapper over the declarative scenario registry.
 
-γ controls everything about the deployment: the number of small machines
-(m/n^γ), their capacity (n^γ polylog), and the fanout (and hence depth
-O((1-γ)/γ)) of the Claims 2–3 trees.  This ablation sweeps γ and measures
-the machine counts and the *measured* round cost of one sort + one
-aggregation + one edge annotation, the primitives every algorithm is built
-from.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``ablation_gamma``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.graph import generators
-from repro.mpc import Cluster, ModelConfig
-from repro.primitives.edgestore import EdgeStore
-
-from _util import publish
-
-GAMMAS = (0.25, 0.5, 0.75)
-
-
-def run_sweep() -> list[dict]:
-    rng = random.Random(59)
-    n, m = 100, 2000
-    graph = generators.random_connected_graph(n, m, rng).with_unique_weights(rng)
-    rows = []
-    for gamma in GAMMAS:
-        config = ModelConfig.heterogeneous(n=n, m=m, gamma=gamma)
-        cluster = Cluster(config, rng=random.Random(int(gamma * 100)))
-        store = EdgeStore.create(cluster, graph.edges)
-
-        before = cluster.ledger.rounds
-        store.sort(key=lambda e: e[2])
-        sort_rounds = cluster.ledger.rounds - before
-
-        before = cluster.ledger.rounds
-        store.aggregate(lambda e: (e[0], 1), lambda a, b: a + b)
-        aggregate_rounds = cluster.ledger.rounds - before
-
-        before = cluster.ledger.rounds
-        store.annotate({v: v for v in range(n)})
-        annotate_rounds = cluster.ledger.rounds - before
-
-        rows.append(
-            {
-                "gamma": gamma,
-                "machines": config.num_small,
-                "capacity": config.small_capacity,
-                "fanout": config.tree_fanout,
-                "sort_rounds": sort_rounds,
-                "aggregate_rounds": aggregate_rounds,
-                "annotate_rounds": annotate_rounds,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_ablation_gamma(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "ablation_gamma",
-        "Ablation / γ: machine count vs capacity vs primitive round costs",
-        rows,
-        ["gamma", "machines", "capacity", "fanout", "sort_rounds",
-         "aggregate_rounds", "annotate_rounds"],
-    )
-    machines = [row["machines"] for row in rows]
-    assert machines == sorted(machines, reverse=True)  # fewer, fatter machines
-    # Deeper trees at small gamma: aggregation cannot get cheaper as gamma
-    # shrinks.
-    assert rows[0]["aggregate_rounds"] >= rows[-1]["aggregate_rounds"]
+    run_scenario_benchmark(benchmark, "ablation_gamma")

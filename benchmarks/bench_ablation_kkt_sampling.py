@@ -1,62 +1,13 @@
-"""Ablation — the KKT sampling rate (Lemma 3.2).
+"""KKT sampling-rate ablation (Lemma 3.2) — a thin wrapper over the declarative scenario registry.
 
-The MST algorithm's second part hinges on the trade-off the sampling
-lemma formalizes: sampling at rate p leaves ~n/p F-light edges, but the
-sampled graph itself has ~pm edges — both must fit the large machine.
-This ablation sweeps p and measures both sides of the trade, validating
-the expectation bound that justifies the paper's choice p = n/m.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``ablation_kkt_sampling``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.graph import generators
-from repro.local.mst import f_light_edges, kruskal_edges
-
-from _util import publish
-
-PROBABILITIES = (0.05, 0.1, 0.25, 0.5)
-TRIALS = 5
-
-
-def run_sweep() -> list[dict]:
-    rng = random.Random(47)
-    n, m = 80, 1600
-    graph = generators.random_connected_graph(n, m, rng).with_unique_weights(rng)
-    rows = []
-    for p in PROBABILITIES:
-        sampled_sizes, light_counts = [], []
-        for seed in range(TRIALS):
-            local = random.Random(seed)
-            sample = [e for e in graph.edges if local.random() < p]
-            forest = kruskal_edges(n, sample)
-            light = f_light_edges(n, forest, graph.edges)
-            sampled_sizes.append(len(sample))
-            light_counts.append(len(light))
-        rows.append(
-            {
-                "p": p,
-                "sampled_edges~pm": sum(sampled_sizes) / TRIALS,
-                "pm": p * m,
-                "f_light~n/p": sum(light_counts) / TRIALS,
-                "n/p": n / p,
-                "total_on_large": sum(sampled_sizes) / TRIALS
-                + sum(light_counts) / TRIALS,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_ablation_kkt_sampling(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "ablation_kkt_sampling",
-        "Ablation / Lemma 3.2: sampled edges ~ pm vs F-light edges ~ n/p",
-        rows,
-        ["p", "sampled_edges~pm", "pm", "f_light~n/p", "n/p", "total_on_large"],
-    )
-    for row in rows:
-        # KKT expectation bound with a generous constant.
-        assert row["f_light~n/p"] <= 3 * row["n/p"]
-    # The two curves move in opposite directions.
-    assert rows[0]["sampled_edges~pm"] < rows[-1]["sampled_edges~pm"]
-    assert rows[0]["f_light~n/p"] > rows[-1]["f_light~n/p"]
+    run_scenario_benchmark(benchmark, "ablation_kkt_sampling")

@@ -1,63 +1,13 @@
-"""Ablation — ℓ₀-sampler copies per Borůvka phase.
+"""l0-sampler copies ablation (Thm C.1) — a thin wrapper over the declarative scenario registry.
 
-A single ℓ₀-sampler recovers a cut edge only with constant probability;
-Theorem C.1's implementation keeps several independent copies per phase.
-This ablation measures the connectivity success rate as a function of the
-copy count, justifying the default of 3.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``ablation_sketch_copies``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.graph import generators
-from repro.graph.traversal import component_labels
-from repro.sketches import GraphSketchSpec, VertexSketch, components_from_sketches
-
-from _util import publish
-
-COPIES = (1, 2, 3)
-TRIALS = 12
-
-
-def run_sweep() -> list[dict]:
-    base_rng = random.Random(53)
-    n = 40
-    graph = generators.planted_components_graph(n, 4, 40, base_rng)
-    truth = component_labels(graph)
-    rows = []
-    for copies in COPIES:
-        successes = 0
-        for seed in range(TRIALS):
-            rng = random.Random(1000 * copies + seed)
-            spec = GraphSketchSpec.generate(n, rng, copies=copies)
-            sketches = {v: VertexSketch(spec, v) for v in range(n)}
-            for u, v in graph.edges:
-                sketches[u].add_edge(u, v)
-                sketches[v].add_edge(u, v)
-            if components_from_sketches(spec, sketches) == truth:
-                successes += 1
-        words = VertexSketch(
-            GraphSketchSpec.generate(n, random.Random(0), copies=copies), 0
-        ).word_size()
-        rows.append(
-            {
-                "copies": copies,
-                "success_rate": successes / TRIALS,
-                "sketch_words_per_vertex": words,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_ablation_sketch_copies(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "ablation_sketch_copies",
-        "Ablation / Theorem C.1: sampler copies vs connectivity success rate",
-        rows,
-        ["copies", "success_rate", "sketch_words_per_vertex"],
-    )
-    rates = [row["success_rate"] for row in rows]
-    assert rates[-1] >= rates[0]
-    assert rates[-1] >= 0.9  # the default (3 copies) is reliable
-    words = [row["sketch_words_per_vertex"] for row in rows]
-    assert words == sorted(words)  # the price: linearly larger sketches
+    run_scenario_benchmark(benchmark, "ablation_sketch_copies")

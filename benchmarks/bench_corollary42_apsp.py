@@ -1,63 +1,13 @@
-"""Cor 4.2 — O(log n)-approximate APSP in O(1) rounds.
+"""Corollary 4.2 approximate APSP — a thin wrapper over the declarative scenario registry.
 
-Build the k = ceil(log2 n) spanner, store it on the large machine, answer
-all-pairs queries locally; report the stretch distribution.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``corollary42_apsp``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import math
-import random
-
-from repro.core.spanner import build_apsp_oracle
-from repro.graph import generators
-from repro.graph.traversal import bfs_distances
-
-from _util import publish
-
-SIZES = (40, 80)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    for n in SIZES:
-        rng = random.Random(n)
-        graph = generators.random_connected_graph(n, 5 * n, rng)
-        oracle = build_apsp_oracle(graph, rng=random.Random(n + 1))
-        worst = 1.0
-        total_ratio = 0.0
-        pairs = 0
-        for source in range(0, n, max(1, n // 10)):
-            truth = bfs_distances(graph, source)
-            approx = oracle.distances_from(source)
-            for v in range(n):
-                if truth[v] > 0 and not math.isinf(truth[v]):
-                    ratio = approx[v] / truth[v]
-                    worst = max(worst, ratio)
-                    total_ratio += ratio
-                    pairs += 1
-        rows.append(
-            {
-                "n": n,
-                "spanner_size": oracle.spanner.size,
-                "m": graph.m,
-                "k": oracle.spanner.k,
-                "stretch_bound": oracle.stretch_bound,
-                "worst_stretch": worst,
-                "mean_stretch": total_ratio / pairs,
-                "rounds": oracle.rounds,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_corollary42_apsp(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "corollary42_apsp",
-        "Corollary 4.2: O(log n)-approx APSP from an O~(n)-size spanner",
-        rows,
-        ["n", "spanner_size", "m", "k", "stretch_bound", "worst_stretch",
-         "mean_stretch", "rounds"],
-    )
-    for row in rows:
-        assert row["worst_stretch"] <= row["stretch_bound"]
-        assert row["spanner_size"] <= row["m"]
+    run_scenario_benchmark(benchmark, "corollary42_apsp")

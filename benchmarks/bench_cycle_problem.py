@@ -1,51 +1,13 @@
-"""1v2 — the 1-vs-2 cycle problem (Section 1).
+"""the 1-vs-2 cycle problem (Section 1) — a thin wrapper over the declarative scenario registry.
 
-The conjectured-Ω(log n) core of sublinear hardness becomes a single round
-with one near-linear machine.  Sweep n: the heterogeneous solver stays at
-1 round while the sublinear pointer/Borůvka baseline grows with log n.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``cycle_problem``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import math
-import random
-
-from repro.baselines import sublinear_connectivity
-from repro.core.cycle import solve_one_vs_two_cycles
-from repro.graph import generators
-
-from _util import publish
-
-SIZES = (32, 64, 128, 256)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    for n in SIZES:
-        rng = random.Random(n)
-        graph, truth = generators.one_or_two_cycles(n, rng)
-        het = solve_one_vs_two_cycles(graph, rng=random.Random(n + 1))
-        assert het.num_cycles == truth
-        sub = sublinear_connectivity(graph, rng=random.Random(n + 2))
-        assert len(set(sub.labels)) == truth
-        rows.append(
-            {
-                "n": n,
-                "true_cycles": truth,
-                "het_rounds": het.rounds,
-                "sub_rounds": sub.rounds,
-                "theory_sub~log n": round(math.log2(n), 1),
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_cycle_problem(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "cycle_problem",
-        "1-vs-2 cycles: trivial (1 round) with one near-linear machine",
-        rows,
-        ["n", "true_cycles", "het_rounds", "sub_rounds", "theory_sub~log n"],
-    )
-    assert all(row["het_rounds"] == 1 for row in rows)
-    sub_rounds = [row["sub_rounds"] for row in rows]
-    assert sub_rounds[-1] > sub_rounds[0]  # grows with n
+    run_scenario_benchmark(benchmark, "cycle_problem")

@@ -1,81 +1,13 @@
-"""Fig1 / Lemma 4.3 — modified vs. classic Baswana–Sen.
+"""Figure 1 / Lemma 4.3 modified Baswana-Sen — a thin wrapper over the declarative scenario registry.
 
-Figure 1 illustrates the mechanism: on the sampled subgraph the large
-machine re-clusters *fewer* nodes (fewer bold re-cluster edges) and removes
-more, so the small machines add *more* removal edges.  Lemma 4.3 bounds the
-blow-up: expected spanner size O(k n^{1+1/k} / p).
-
-We sweep the sampling probability p and measure the re-cluster/removal
-split plus the total size, with classic Baswana–Sen (p = 1) as reference.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``fig1_baswana_sen``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.core.spanner import modified_baswana_sen_local
-from repro.graph import generators
-from repro.graph.validation import spanner_stretch
-from repro.local.baswana_sen import baswana_sen
-
-from _util import publish
-
-PROBABILITIES = (1.0, 0.5, 0.25, 0.1)
-TRIALS = 5
+from _util import run_scenario_benchmark
 
 
-def run_sweep() -> list[dict]:
-    rng = random.Random(31)
-    n, k = 70, 2
-    graph = generators.gnm_random_graph(n, 1500, rng)
-    edges = [(e[0], e[1]) for e in graph.edges]
-
-    classic = baswana_sen(graph, k, random.Random(0))
-    rows = [
-        {
-            "p": "classic",
-            "recluster": len(classic.reclustered_edges),
-            "removal": len(classic.removal_edges),
-            "size": classic.size,
-            "blowup_vs_classic": 1.0,
-            "stretch": spanner_stretch(graph, classic.spanner),
-        }
-    ]
-    for p in PROBABILITIES:
-        sizes, reclusters, removals, stretches = [], [], [], []
-        for seed in range(TRIALS):
-            result = modified_baswana_sen_local(n, edges, k, p, random.Random(seed))
-            sizes.append(len(result["spanner"]))
-            reclusters.append(len(result["recluster_edges"]))
-            removals.append(len(result["removal_edges"]))
-        stretch = spanner_stretch(
-            graph, modified_baswana_sen_local(n, edges, k, p, random.Random(99))["spanner"]
-        )
-        rows.append(
-            {
-                "p": p,
-                "recluster": sum(reclusters) / TRIALS,
-                "removal": sum(removals) / TRIALS,
-                "size": sum(sizes) / TRIALS,
-                "blowup_vs_classic": (sum(sizes) / TRIALS) / classic.size,
-                "stretch": stretch,
-            }
-        )
-    return rows
-
-
-def test_fig1_modified_baswana_sen(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "fig1_baswana_sen",
-        "Figure 1 / Lemma 4.3: smaller p => fewer re-clusterings, more "
-        "removal edges, ~1/p size blow-up, stretch still 2k-1",
-        rows,
-        ["p", "recluster", "removal", "size", "blowup_vs_classic", "stretch"],
-    )
-    sampled = rows[1:]
-    # Re-cluster edges shrink and removal edges grow as p decreases.
-    assert sampled[-1]["recluster"] <= sampled[0]["recluster"]
-    assert sampled[-1]["removal"] >= sampled[0]["removal"]
-    # Stretch bound (2k-1 = 3) holds at every p.
-    assert all(row["stretch"] <= 3.0 for row in rows)
-    # Blow-up stays far below the worst-case 1/p envelope.
-    assert sampled[-1]["blowup_vs_classic"] <= 1.0 / 0.1
+def test_fig1_baswana_sen(benchmark):
+    run_scenario_benchmark(benchmark, "fig1_baswana_sen")

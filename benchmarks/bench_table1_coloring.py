@@ -1,53 +1,13 @@
-"""T1-coloring — (Δ+1) vertex coloring row of Table 1.
+"""Table 1 coloring row (Thm C.7) — a thin wrapper over the declarative scenario registry.
 
-Paper: sublinear O(log log log n) [19]  |  heterogeneous O(1) [6].
-
-Sweep n; check proper (Δ+1)-colorings in a constant number of rounds, and
-report the conflict-graph size the large machine had to collect (the ACK
-palette-sparsification quantity, O~(n) w.h.p.).
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_coloring``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.core.coloring import heterogeneous_coloring
-from repro.graph import generators
-from repro.graph.validation import is_proper_coloring
-
-from _util import publish
-
-SIZES = (40, 80, 120)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    for n in SIZES:
-        rng = random.Random(n)
-        graph = generators.random_connected_graph(n, 6 * n, rng)
-        result = heterogeneous_coloring(graph, rng=random.Random(n + 1))
-        assert is_proper_coloring(graph, result.colors, result.num_colors_allowed)
-        rows.append(
-            {
-                "n": n,
-                "m": graph.m,
-                "delta+1": result.num_colors_allowed,
-                "colors_used": len(set(result.colors)),
-                "conflict_edges": result.conflict_edges,
-                "attempts": result.attempts,
-                "rounds": result.rounds,
-                "theory": "O(1)",
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_coloring(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_coloring",
-        "Table 1 / (Δ+1)-coloring: O(1) rounds via palette sparsification",
-        rows,
-        ["n", "m", "delta+1", "colors_used", "conflict_edges", "attempts",
-         "rounds", "theory"],
-    )
-    assert all(row["rounds"] <= 30 for row in rows)
-    assert all(row["colors_used"] <= row["delta+1"] for row in rows)
+    run_scenario_benchmark(benchmark, "table1_coloring")

@@ -1,56 +1,13 @@
-"""T1-conn — Connectivity row of Table 1.
+"""Table 1 connectivity row (Thm C.1) — a thin wrapper over the declarative scenario registry.
 
-Paper: sublinear O(log D + log log n) [11]  |  heterogeneous O(1) [1].
-
-Sweep n; the heterogeneous sketch algorithm stays at a constant number of
-rounds while the sublinear Borůvka baseline grows with log n.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_connectivity``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.baselines import sublinear_connectivity
-from repro.core.connectivity import heterogeneous_connectivity
-from repro.graph import generators
-from repro.graph.traversal import component_labels
-
-from _util import publish
-
-SIZES = (32, 64, 128)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    for n in SIZES:
-        rng = random.Random(n)
-        graph = generators.planted_components_graph(n, 4, 2 * n, rng)
-        truth = component_labels(graph)
-
-        het = heterogeneous_connectivity(graph, rng=random.Random(n + 1))
-        assert het.labels == truth
-        sub = sublinear_connectivity(graph, rng=random.Random(n + 2))
-        assert sub.labels == truth
-
-        rows.append(
-            {
-                "n": n,
-                "m": graph.m,
-                "het_rounds": het.rounds,
-                "sub_rounds": sub.rounds,
-                "theory_het": "O(1)",
-                "theory_sub": "~log n",
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_connectivity(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_connectivity",
-        "Table 1 / Connectivity: heterogeneous O(1) vs sublinear Borůvka",
-        rows,
-        ["n", "m", "het_rounds", "sub_rounds", "theory_het", "theory_sub"],
-    )
-    het_rounds = [row["het_rounds"] for row in rows]
-    assert max(het_rounds) <= 8  # constant across the sweep
-    assert rows[-1]["sub_rounds"] > max(het_rounds)
+    run_scenario_benchmark(benchmark, "table1_connectivity")

@@ -1,64 +1,13 @@
-"""T1-matching / Thm 5.1 — maximal matching row of Table 1.
+"""Table 1 maximal-matching row (Thm 5.1) — a thin wrapper over the declarative scenario registry.
 
-Paper: sublinear O(sqrt(log Δ) log log Δ + sqrt(log log n)) [33]  |
-heterogeneous O(sqrt(log(m/n) log log(m/n))) [new]  |  near-linear
-O(log log Δ) [13].
-
-Sweep the average degree d = 2m/n; report measured rounds, the phase-1
-substitute's iteration count, the theoretical phase-1 charge from [33],
-and the paper's sqrt-shaped bound.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_matching``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.analysis import predicted_rounds
-from repro.baselines import sublinear_matching
-from repro.core.matching import heterogeneous_matching, low_degree_phase_rounds
-from repro.graph import generators
-from repro.graph.validation import is_maximal_matching
-
-from _util import publish
-
-DENSITIES = (2, 8, 24)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    n = 80
-    for density in DENSITIES:
-        rng = random.Random(density)
-        m = min(n * (n - 1) // 2, n * density)
-        graph = generators.random_connected_graph(n, m, rng)
-
-        het = heterogeneous_matching(graph, rng=random.Random(density + 1))
-        assert is_maximal_matching(graph, het.matching)
-        sub = sublinear_matching(graph, rng=random.Random(density + 2))
-        assert is_maximal_matching(graph, sub.matching)
-
-        rows.append(
-            {
-                "avg_degree": round(graph.average_degree, 1),
-                "het_rounds": het.rounds,
-                "phase1_iters": het.phase1_iterations,
-                "gu_charge": round(low_degree_phase_rounds(graph.max_degree), 1),
-                "sub_rounds": sub.rounds,
-                "theory_het~sqrt": predicted_rounds(
-                    "matching", "heterogeneous", n=n, m=m
-                ),
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_matching(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_matching",
-        "Table 1 / maximal matching: O(sqrt(log d log log d)) heterogeneous",
-        rows,
-        ["avg_degree", "het_rounds", "phase1_iters", "gu_charge", "sub_rounds",
-         "theory_het~sqrt"],
-    )
-    # Rounds grow slowly with density (the sqrt-log shape), never linearly.
-    het = [row["het_rounds"] for row in rows]
-    assert het[-1] <= 3 * het[0]
+    run_scenario_benchmark(benchmark, "table1_matching")

@@ -1,61 +1,13 @@
-"""T1-mincut — the two min-cut rows of Table 1.
+"""Table 1 min-cut rows (Thms C.3/C.4) — a thin wrapper over the declarative scenario registry.
 
-Paper: exact unweighted O(1) [32]; (1±ε) weighted O(1) [31]
-(sublinear: O(polylog n) / O(log n log log n)).
-
-Planted-cut graphs; verify exactness / (1±ε) accuracy against the
-sequential Stoer–Wagner oracle and constant round counts.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_mincut``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.core.mincut import approximate_weighted_mincut, exact_unweighted_mincut
-from repro.graph import generators
-from repro.local.mincut import min_cut_value
-
-from _util import publish
-
-CUTS = (2, 4, 6)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    for cut in CUTS:
-        rng = random.Random(cut)
-        graph = generators.planted_cut_graph(40, cut, 4.0, rng)
-        truth = min_cut_value(graph.n, graph.edges)
-        exact = exact_unweighted_mincut(graph, rng=random.Random(cut + 1), attempts=14)
-
-        weighted = graph.with_unique_weights(rng)
-        wtruth = min_cut_value(weighted.n, weighted.edges)
-        approx = approximate_weighted_mincut(
-            weighted, epsilon=0.4, rng=random.Random(cut + 2)
-        )
-        rows.append(
-            {
-                "planted_cut": cut,
-                "true_cut": truth,
-                "exact_value": exact.value,
-                "exact_rounds": exact.rounds,
-                "w_true": wtruth,
-                "w_estimate": approx.value,
-                "w_ratio": approx.value / wtruth,
-                "w_rounds": approx.rounds,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_mincut(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_mincut",
-        "Table 1 / min-cut: exact unweighted O(1) + (1±eps) weighted O(1)",
-        rows,
-        ["planted_cut", "true_cut", "exact_value", "exact_rounds",
-         "w_true", "w_estimate", "w_ratio", "w_rounds"],
-    )
-    for row in rows:
-        assert row["exact_value"] == row["true_cut"]
-        assert 0.55 <= row["w_ratio"] <= 1.45
-        assert row["w_rounds"] <= 12
+    run_scenario_benchmark(benchmark, "table1_mincut")

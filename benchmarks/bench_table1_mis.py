@@ -1,54 +1,13 @@
-"""T1-mis — maximal independent set row of Table 1.
+"""Table 1 MIS row (Thm C.6) — a thin wrapper over the declarative scenario registry.
 
-Paper: sublinear O(sqrt(log Δ) log log Δ + sqrt(log log n)) [33]  |
-heterogeneous O(log log Δ) [26].
-
-Sweep the maximum degree Δ; the iteration count of the rank-prefix
-algorithm must grow like log log Δ (very slowly).
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_mis``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.core.mis import heterogeneous_mis, prefix_thresholds
-from repro.graph import generators
-from repro.graph.validation import is_maximal_independent_set
-
-from _util import publish
-
-DENSITIES = (3, 10, 30)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    n = 90
-    for density in DENSITIES:
-        rng = random.Random(density)
-        m = min(n * (n - 1) // 2, n * density)
-        graph = generators.random_connected_graph(n, m, rng)
-        result = heterogeneous_mis(graph, rng=random.Random(density + 1))
-        assert is_maximal_independent_set(graph, result.vertices)
-        rows.append(
-            {
-                "n": n,
-                "max_degree": graph.max_degree,
-                "mis_size": result.size,
-                "iterations": result.iterations,
-                "theory_iters~loglogΔ": len(prefix_thresholds(n, graph.max_degree)),
-                "rounds": result.rounds,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_mis(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_mis",
-        "Table 1 / MIS: O(log log Δ) iterations of O(1) rounds each",
-        rows,
-        ["n", "max_degree", "mis_size", "iterations", "theory_iters~loglogΔ",
-         "rounds"],
-    )
-    iterations = [row["iterations"] for row in rows]
-    # log log growth: quadrupling the degree adds at most a few iterations.
-    assert iterations[-1] <= iterations[0] + 4
+    run_scenario_benchmark(benchmark, "table1_mis")

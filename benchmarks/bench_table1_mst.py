@@ -1,69 +1,13 @@
-"""T1-mst — MST row of Table 1.
+"""Table 1 MST row (Thm 1.2/3.1) — a thin wrapper over the declarative scenario registry.
 
-Paper: sublinear O(log n) [5]  |  heterogeneous O(log log(m/n)) [new]  |
-near-linear O(1) [1].
-
-We sweep density m/n and measure simulator rounds for the sublinear
-Borůvka baseline and the heterogeneous algorithm.  The shape to check:
-the sublinear column grows with log n (per-iteration), while the
-heterogeneous column grows only via the Borůvka *step count*
-ceil(log2 log2 (m/n)) — 1, 2, 3 steps across the sweep.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_mst``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.analysis import predicted_rounds
-from repro.baselines import sublinear_boruvka_mst
-from repro.core.mst import heterogeneous_mst
-from repro.graph import generators
-from repro.graph.validation import verify_mst
-
-from _util import publish
-
-N = 96
-RATIOS = (2, 8, 32, 64)
-
-
-def run_sweep() -> list[dict]:
-    rows = []
-    for ratio in RATIOS:
-        rng = random.Random(ratio)
-        m = min(N * (N - 1) // 2, N * ratio)
-        graph = generators.random_connected_graph(N, m, rng).with_unique_weights(rng)
-
-        het = heterogeneous_mst(graph, rng=random.Random(ratio + 1))
-        assert verify_mst(graph, het.edges)
-        sub = sublinear_boruvka_mst(graph, rng=random.Random(ratio + 2))
-        assert verify_mst(graph, sub.edges)
-
-        rows.append(
-            {
-                "m/n": ratio,
-                "het_steps": het.boruvka_steps,
-                "het_rounds": het.rounds,
-                "sub_iters": sub.iterations,
-                "sub_rounds": sub.rounds,
-                "theory_het~loglog(m/n)": predicted_rounds(
-                    "mst", "heterogeneous", n=N, m=m
-                ),
-                "theory_sub~log(n)": predicted_rounds("mst", "sublinear", n=N, m=m),
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_mst(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_mst",
-        "Table 1 / MST: heterogeneous O(log log(m/n)) vs sublinear O(log n)",
-        rows,
-        ["m/n", "het_steps", "het_rounds", "sub_iters", "sub_rounds",
-         "theory_het~loglog(m/n)", "theory_sub~log(n)"],
-    )
-    # Shape checks: the heterogeneous step counter is the log log curve.
-    steps = [row["het_steps"] for row in rows]
-    assert steps == sorted(steps)
-    assert steps[-1] <= 4
-    # Sublinear pays more rounds than heterogeneous at high density.
-    assert rows[-1]["sub_rounds"] > 0
+    run_scenario_benchmark(benchmark, "table1_mst")

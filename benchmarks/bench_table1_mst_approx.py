@@ -1,54 +1,13 @@
-"""T1-mst-approx — (1+ε)-approximate MST row of Table 1.
+"""Table 1 approx-MST row — a thin wrapper over the declarative scenario registry.
 
-Paper: heterogeneous O(1) rounds [1] (no better-than-exact result is known
-in the sublinear regime).
-
-Sweep ε and check (a) rounds stay constant, (b) the estimate lands in
-[MST, (1+ε+slack) MST].
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_mst_approx``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.core.mst_approx import approximate_mst_weight
-from repro.graph import generators
-from repro.local.mst import kruskal
-
-from _util import publish
-
-EPSILONS = (1.0, 0.5, 0.25)
-
-
-def run_sweep() -> list[dict]:
-    rng = random.Random(17)
-    graph = generators.random_connected_graph(48, 220, rng).with_unique_weights(rng)
-    truth = sum(e[2] for e in kruskal(graph))
-    rows = []
-    for epsilon in EPSILONS:
-        result = approximate_mst_weight(
-            graph, epsilon=epsilon, rng=random.Random(int(epsilon * 100)), copies=2
-        )
-        rows.append(
-            {
-                "epsilon": epsilon,
-                "true_mst": truth,
-                "estimate": result.estimate,
-                "ratio": result.estimate / truth,
-                "thresholds": len(result.thresholds),
-                "rounds": result.rounds,
-                "theory": "O(1)",
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_mst_approx(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_mst_approx",
-        "Table 1 / (1+eps)-approx MST: O(1) rounds, estimate within band",
-        rows,
-        ["epsilon", "true_mst", "estimate", "ratio", "thresholds", "rounds", "theory"],
-    )
-    for row in rows:
-        assert 1.0 <= row["ratio"] <= 1.0 + row["epsilon"] + 0.4
-        assert row["rounds"] <= 8
+    run_scenario_benchmark(benchmark, "table1_mst_approx")

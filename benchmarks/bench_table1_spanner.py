@@ -1,57 +1,13 @@
-"""T1-spanner — O(k)-spanner row of Table 1.
+"""Table 1 spanner row (Thm 1.3) — a thin wrapper over the declarative scenario registry.
 
-Paper: sublinear O(log k) [14]  |  heterogeneous O(1), size O(n^{1+1/k}),
-stretch 6k-1 [new].
-
-Sweep k; check constant rounds, measured stretch <= 6k-1, and size tracking
-n^{1+1/k} (sizes shrink as k grows).
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``table1_spanner``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.core.spanner import heterogeneous_spanner
-from repro.graph import generators
-from repro.graph.validation import spanner_stretch
-
-from _util import publish
-
-KS = (1, 2, 3, 4)
-
-
-def run_sweep() -> list[dict]:
-    rng = random.Random(23)
-    n = 64
-    graph = generators.gnm_random_graph(n, 1400, rng)
-    rows = []
-    for k in KS:
-        result = heterogeneous_spanner(graph, k=k, rng=random.Random(k))
-        stretch = spanner_stretch(graph, result.edges)
-        rows.append(
-            {
-                "k": k,
-                "stretch_bound=6k-1": result.stretch_bound,
-                "stretch_measured": stretch,
-                "size": result.size,
-                "size_budget~n^(1+1/k)": round(6 * n ** (1 + 1 / k)),
-                "m": graph.m,
-                "rounds": result.rounds,
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_table1_spanner(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "table1_spanner",
-        "Table 1 / O(k)-spanner: O(1) rounds, size O(n^{1+1/k}), stretch <= 6k-1",
-        rows,
-        ["k", "stretch_bound=6k-1", "stretch_measured", "size",
-         "size_budget~n^(1+1/k)", "m", "rounds"],
-    )
-    for row in rows:
-        assert row["stretch_measured"] <= row["stretch_bound=6k-1"]
-        assert row["rounds"] <= 220  # constant-round construction
-    # Size decreases (weakly) as k grows.
-    sizes = [row["size"] for row in rows]
-    assert sizes[-1] <= sizes[0]
+    run_scenario_benchmark(benchmark, "table1_spanner")

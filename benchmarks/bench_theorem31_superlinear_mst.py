@@ -1,60 +1,13 @@
-"""Thm 3.1 — MST with a superlinear large machine.
+"""Theorem 3.1 superlinear-memory MST — a thin wrapper over the declarative scenario registry.
 
-Paper: with large-machine memory n^{1+f}, MST takes
-O(log(log(m/n) / (f log n))) rounds — more memory, fewer Borůvka steps,
-down to 0 steps (pure KKT sampling) once n^f covers the density.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``theorem31_superlinear_mst``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import random
-
-from repro.analysis import predicted_rounds
-from repro.core.mst import heterogeneous_mst, planned_boruvka_steps
-from repro.graph import generators
-from repro.graph.validation import verify_mst
-from repro.mpc import ModelConfig
-
-from _util import publish
-
-FS = (None, 0.25, 0.5, 1.0)  # None = near-linear (f = 1/log n)
-
-
-def run_sweep() -> list[dict]:
-    rng = random.Random(37)
-    n, m = 90, 2700
-    graph = generators.random_connected_graph(n, m, rng).with_unique_weights(rng)
-    rows = []
-    for f in FS:
-        if f is None:
-            config = ModelConfig.heterogeneous(n=n, m=m)
-            label = "1/log n"
-        else:
-            config = ModelConfig.heterogeneous_superlinear(n=n, m=m, f=f)
-            label = f
-        result = heterogeneous_mst(graph, config=config, rng=random.Random(hash(str(f)) % 1000))
-        assert verify_mst(graph, result.edges)
-        rows.append(
-            {
-                "f": label,
-                "planned_steps": planned_boruvka_steps(n, m, config.f),
-                "measured_steps": result.boruvka_steps,
-                "rounds": result.rounds,
-                "theory~log(log(m/n)/(f log n))": predicted_rounds(
-                    "mst", "heterogeneous", n=n, m=m, f=config.f
-                ),
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_theorem31_superlinear_mst(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "theorem31_superlinear_mst",
-        "Theorem 3.1: larger large-machine memory (f) => fewer Borůvka steps",
-        rows,
-        ["f", "planned_steps", "measured_steps", "rounds",
-         "theory~log(log(m/n)/(f log n))"],
-    )
-    steps = [row["measured_steps"] for row in rows]
-    assert steps == sorted(steps, reverse=True)
-    assert steps[-1] == 0  # f = 1: pure sampling, O(1) rounds
+    run_scenario_benchmark(benchmark, "theorem31_superlinear_mst")

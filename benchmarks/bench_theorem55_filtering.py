@@ -1,51 +1,13 @@
-"""Thm 5.5 — filtering matching with a superlinear large machine.
+"""Theorem 5.5 filtering matching — a thin wrapper over the declarative scenario registry.
 
-Paper: O(1/f) rounds with large-machine memory n^{1+f} (Lattanzi et al.
-filtering).  Sweep f and check the recursion depth tracks 1/f.
+The sweep, measurements, and shape checks live in
+``repro.experiments.registry`` under the scenario name ``theorem55_filtering``;
+running this file publishes the text table and the JSON artifact that
+``python -m repro report`` compiles into docs/REPRODUCTION.md.
 """
 
-import math
-import random
-
-from repro.core.matching import filtering_matching
-from repro.graph import generators
-from repro.graph.validation import is_maximal_matching
-from repro.mpc import ModelConfig
-
-from _util import publish
-
-FS = (0.25, 0.5, 1.0)
-
-
-def run_sweep() -> list[dict]:
-    rng = random.Random(41)
-    n, m = 70, 2000
-    graph = generators.random_connected_graph(n, m, rng)
-    rows = []
-    for f in FS:
-        config = ModelConfig.heterogeneous_superlinear(n=n, m=m, f=f)
-        result = filtering_matching(graph, config=config, rng=random.Random(int(f * 10)))
-        assert is_maximal_matching(graph, result.matching)
-        rows.append(
-            {
-                "f": f,
-                "levels": result.levels,
-                "rounds": result.rounds,
-                "theory~1/f": math.ceil(1.0 / f),
-            }
-        )
-    return rows
+from _util import run_scenario_benchmark
 
 
 def test_theorem55_filtering(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    publish(
-        "theorem55_filtering",
-        "Theorem 5.5: filtering matching, recursion depth ~ 1/f",
-        rows,
-        ["f", "levels", "rounds", "theory~1/f"],
-    )
-    levels = [row["levels"] for row in rows]
-    assert levels == sorted(levels, reverse=True)
-    rounds = [row["rounds"] for row in rows]
-    assert rounds == sorted(rounds, reverse=True)
+    run_scenario_benchmark(benchmark, "theorem55_filtering")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cross-reference link check for the repo's markdown docs.
+
+Scans README.md, PAPERS.md, ROADMAP.md, CHANGES.md and docs/*.md for
+relative markdown links and inline-code path references, and fails when a
+referenced file does not exist.  External (http/https/mailto) links are
+not fetched — CI must stay hermetic.
+
+Usage: python scripts/check_links.py  (exit 1 on broken references)
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DOCS = sorted(
+    p for p in [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "PAPERS.md",
+        REPO_ROOT / "ROADMAP.md",
+        REPO_ROOT / "CHANGES.md",
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+    if p.exists()
+)
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)[^)]*\)")
+# `path/like.this` references inside backticks; only ones that look like
+# repo paths (contain a slash and an extension or trailing slash).
+CODE_PATH = re.compile(r"`((?:[\w.\-]+/)+[\w.\-]*)`")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_doc(doc: pathlib.Path) -> list[str]:
+    problems = []
+    text = doc.read_text()
+    targets: set[str] = set()
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if not target.startswith(EXTERNAL):
+            targets.add(target)
+    for match in CODE_PATH.finditer(text):
+        target = match.group(1)
+        # Only treat as a path claim when the prefix exists in-repo
+        # (skips module dotted-paths, shell output, glob patterns, and
+        # illustrative snippets).
+        if "*" in target or "<" in target:
+            continue
+        first = target.split("/", 1)[0]
+        if (REPO_ROOT / first).exists():
+            targets.add(target)
+    for target in sorted(targets):
+        resolved = (doc.parent / target).resolve()
+        in_repo = (REPO_ROOT / target).resolve()
+        if not resolved.exists() and not in_repo.exists():
+            problems.append(f"{doc.relative_to(REPO_ROOT)}: broken reference {target!r}")
+    return problems
+
+
+def main() -> int:
+    problems = [p for doc in DOCS for p in check_doc(doc)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {len(DOCS)} docs, all cross-references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,9 @@ algorithms on top of it:
   connectivity, min-cut, MIS, coloring, 1-vs-2 cycles);
 * :mod:`repro.baselines` — sublinear-regime baselines (Table 1's left
   column);
-* :mod:`repro.analysis` — theory predictions and the table harness.
+* :mod:`repro.analysis` — theory predictions and the table harness;
+* :mod:`repro.experiments` — the declarative scenario registry, runner,
+  JSON benchmark artifacts, and the generated reproduction guide.
 
 Quickstart::
 
@@ -34,12 +36,24 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, graph, labeling, local, mpc, primitives, sketches
+from . import (
+    analysis,
+    baselines,
+    core,
+    experiments,
+    graph,
+    labeling,
+    local,
+    mpc,
+    primitives,
+    sketches,
+)
 
 __all__ = [
     "analysis",
     "baselines",
     "core",
+    "experiments",
     "graph",
     "labeling",
     "local",

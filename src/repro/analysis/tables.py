@@ -1,8 +1,9 @@
 """Harness that regenerates Table 1 and the parameter-sweep experiments.
 
 Every function returns a list of row dicts and also knows how to render
-itself as an aligned text table (what the benchmarks print, and what
-EXPERIMENTS.md records).  Measured quantities are *round counts from the
+itself as an aligned text table — the format the benchmark scenarios
+print and the generated ``docs/REPRODUCTION.md`` quotes (see
+``repro.experiments``).  Measured quantities are *round counts from the
 simulator's ledger*; theory columns come from ``repro.analysis.theory``.
 """
 

@@ -13,11 +13,15 @@ Examples::
     python -m repro mincut --n 40 --cut 3
     python -m repro cycle --n 64
     python -m repro compare --n 96 --m 1500             # regime table
+    python -m repro bench --list                        # scenario registry
+    python -m repro bench all --quick --json            # smoke all scenarios
+    python -m repro report --check                      # docs/REPRODUCTION.md
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 
@@ -99,6 +103,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="sublinear vs heterogeneous table")
     common(p, default_m=1500)
+
+    p = sub.add_parser(
+        "bench",
+        help="run registered benchmark scenarios (text + JSON artifacts)",
+    )
+    p.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names from the registry, or 'all'",
+    )
+    p.add_argument("--list", action="store_true", dest="list_scenarios",
+                   help="list registered scenarios and exit")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke sizing (also via REPRO_BENCH_SMOKE=1); "
+                        "artifacts go to benchmarks/results/quick/")
+    p.add_argument("--json", action="store_true", dest="json_artifacts",
+                   help="also write repro.bench/1 JSON artifacts")
+    p.add_argument("--out", default=None,
+                   help="results directory (default benchmarks/results, "
+                        "or benchmarks/results/quick with --quick)")
+    p.add_argument("--seed", type=int, default=0, help="runner base seed")
+
+    p = sub.add_parser(
+        "report",
+        help="regenerate docs/REPRODUCTION.md from the JSON artifacts",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="verify the committed guide matches the artifacts "
+                        "(exit 1 when stale)")
+    p.add_argument("--results", default=None,
+                   help="artifact directory (default benchmarks/results)")
+    p.add_argument("--out", default=None,
+                   help="output path (default docs/REPRODUCTION.md)")
     return parser
 
 
@@ -111,8 +147,67 @@ def _config(args, m: int) -> ModelConfig:
     return ModelConfig.heterogeneous(n=args.n, m=m, gamma=args.gamma)
 
 
+def _bench_command(args) -> int:
+    from . import experiments
+
+    if args.list_scenarios:
+        for scenario in experiments.all_scenarios():
+            print(f"{scenario.name:28s} [{scenario.group}] {scenario.title}")
+        return 0
+    if not args.scenarios:
+        print("bench: name scenarios to run, or 'all' (see --list)",
+              file=sys.stderr)
+        return 2
+    quick = args.quick or os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    if args.scenarios == ["all"]:
+        selected = experiments.all_scenarios()
+    else:
+        try:
+            selected = [experiments.get_scenario(name) for name in args.scenarios]
+        except KeyError as exc:
+            print(f"bench: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if args.out is not None:
+        results_dir = args.out
+    else:
+        results_dir = experiments.report.DEFAULT_RESULTS_DIR
+        if quick:
+            results_dir = results_dir / "quick"
+    runner = experiments.Runner(results_dir=results_dir, seed=args.seed)
+    runner.run_many(
+        selected,
+        quick=quick,
+        json_artifact=args.json_artifacts,
+        echo=lambda run: print(run.render_text()),
+    )
+    print(f"wrote {len(selected)} scenario artifact(s) to {results_dir}")
+    return 0
+
+
+def _report_command(args) -> int:
+    from . import experiments
+
+    results = args.results or experiments.report.DEFAULT_RESULTS_DIR
+    doc = args.out or experiments.report.DEFAULT_DOC_PATH
+    if args.check:
+        problems = experiments.check_report(results_dir=results, doc_path=doc)
+        for problem in problems:
+            print(f"report --check: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{doc} is up to date with {results}")
+        return 0
+    path = experiments.write_report(results_dir=results, doc_path=doc)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "bench":
+        return _bench_command(args)
+    if args.command == "report":
+        return _report_command(args)
     rng = random.Random(args.seed)
     out = sys.stdout
 

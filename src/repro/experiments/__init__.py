@@ -1,0 +1,46 @@
+"""Declarative experiment subsystem.
+
+``Scenario`` (scenario.py) describes one benchmark as data; the registry
+(registry.py) declares every Table-1 / figure / theorem / ablation
+benchmark plus the workload matrix; ``Runner`` (runner.py) executes
+scenarios and emits text tables plus ``repro.bench/1`` JSON artifacts
+(artifacts.py); report.py regenerates ``docs/REPRODUCTION.md`` from those
+artifacts.  The CLI front ends are ``python -m repro bench`` and
+``python -m repro report``.
+"""
+
+from .artifacts import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    load_artifact,
+    load_results_dir,
+    validate_artifact,
+    write_artifact,
+)
+from .registry import SCENARIOS, all_scenarios, get_scenario, scenario_names
+from .report import check_report, render_report, write_report
+from .runner import Runner, ScenarioRun, ledger_columns
+from .scenario import GROUPS, REGIMES, Scenario, regime_config
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "load_artifact",
+    "load_results_dir",
+    "validate_artifact",
+    "write_artifact",
+    "SCENARIOS",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
+    "check_report",
+    "render_report",
+    "write_report",
+    "Runner",
+    "ScenarioRun",
+    "ledger_columns",
+    "GROUPS",
+    "REGIMES",
+    "Scenario",
+    "regime_config",
+]

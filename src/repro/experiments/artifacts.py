@@ -1,0 +1,137 @@
+"""Versioned JSON artifacts for benchmark runs.
+
+Schema ``repro.bench/1`` — one JSON object per scenario run, written to
+``benchmarks/results/<scenario>.json`` next to the legacy text table:
+
+```
+{
+  "schema":       "repro.bench/1",
+  "scenario":     "table1_mst",            # registry name
+  "title":        "...",                   # human heading
+  "group":        "table1",                # table1|figure|theorem|ablation|workload
+  "problem":      "mst",                   # repro.analysis.theory key
+  "graph_family": "random_connected",      # repro.graph.generators family
+  "regimes":      ["heterogeneous", ...],  # ModelConfig regimes exercised
+  "axis":         "m/n",                   # sweep-axis column name
+  "quick":        false,                   # smoke sizing?
+  "columns":      ["m/n", "het_rounds", ...],
+  "rows":         [{"m/n": 2, "het_rounds": 9, ...}, ...]
+}
+```
+
+Rows hold only JSON scalars (numbers, strings, booleans, null).  The
+schema is additive: readers must ignore unknown keys, and any breaking
+change bumps the version suffix.  ``docs/REPRODUCTION.md`` is generated
+from these artifacts by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "artifact_path",
+    "load_artifact",
+    "load_results_dir",
+    "text_header",
+    "validate_artifact",
+    "write_artifact",
+]
+
+SCHEMA_VERSION = "repro.bench/1"
+
+
+def text_header(experiment: str) -> str:
+    """The header line stamped onto persisted text tables, correlating
+    them with the JSON artifact of the same experiment."""
+    return f"# schema: {SCHEMA_VERSION}  experiment: {experiment}\n"
+
+_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "schema": str,
+    "scenario": str,
+    "title": str,
+    "group": str,
+    "problem": str,
+    "graph_family": str,
+    "regimes": list,
+    "axis": str,
+    "quick": bool,
+    "columns": list,
+    "rows": list,
+}
+
+_SCALAR = (int, float, str, bool, type(None))
+
+
+class ArtifactError(ValueError):
+    """A benchmark artifact does not conform to the schema."""
+
+
+def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
+    """Check *obj* against schema ``repro.bench/1``; return it unchanged.
+
+    Raises :class:`ArtifactError` naming the offending key on failure.
+    """
+    if not isinstance(obj, dict):
+        raise ArtifactError(f"{source}: expected a JSON object, got {type(obj).__name__}")
+    for key, kind in _REQUIRED.items():
+        if key not in obj:
+            raise ArtifactError(f"{source}: missing required key {key!r}")
+        if not isinstance(obj[key], kind):
+            raise ArtifactError(
+                f"{source}: key {key!r} must be {kind.__name__}, "
+                f"got {type(obj[key]).__name__}"
+            )
+    if obj["schema"] != SCHEMA_VERSION:
+        raise ArtifactError(
+            f"{source}: schema {obj['schema']!r} != {SCHEMA_VERSION!r}"
+        )
+    if not all(isinstance(r, str) for r in obj["regimes"]):
+        raise ArtifactError(f"{source}: regimes must be strings")
+    if not all(isinstance(c, str) for c in obj["columns"]):
+        raise ArtifactError(f"{source}: columns must be strings")
+    for index, row in enumerate(obj["rows"]):
+        if not isinstance(row, dict):
+            raise ArtifactError(f"{source}: row {index} is not an object")
+        for key, value in row.items():
+            if not isinstance(value, _SCALAR):
+                raise ArtifactError(
+                    f"{source}: row {index} key {key!r} holds non-scalar "
+                    f"{type(value).__name__}"
+                )
+    return obj
+
+
+def artifact_path(results_dir: pathlib.Path | str, scenario: str) -> pathlib.Path:
+    return pathlib.Path(results_dir) / f"{scenario}.json"
+
+
+def write_artifact(path: pathlib.Path | str, obj: dict[str, Any]) -> None:
+    """Validate and persist one artifact (stable key order, trailing
+    newline, so regeneration is byte-deterministic)."""
+    validate_artifact(obj, source=str(path))
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def load_artifact(path: pathlib.Path | str) -> dict[str, Any]:
+    """Load and validate one artifact."""
+    path = pathlib.Path(path)
+    try:
+        obj = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: invalid JSON ({exc})") from exc
+    return validate_artifact(obj, source=str(path))
+
+
+def load_results_dir(results_dir: pathlib.Path | str) -> list[dict[str, Any]]:
+    """Load every ``*.json`` artifact in *results_dir*, sorted by scenario
+    name (the deterministic order the report generator relies on)."""
+    results_dir = pathlib.Path(results_dir)
+    artifacts = [load_artifact(p) for p in sorted(results_dir.glob("*.json"))]
+    return sorted(artifacts, key=lambda a: a["scenario"])

@@ -1,0 +1,168 @@
+"""Generates ``docs/REPRODUCTION.md`` from the JSON benchmark artifacts.
+
+The reproduction guide is *derived*, never hand-edited: ``python -m repro
+report`` reads every ``benchmarks/results/*.json`` artifact (schema
+``repro.bench/1``), validates it, and renders a deterministic markdown
+document — same artifacts in, byte-identical document out.  CI runs
+``python -m repro report --check`` to fail when the committed guide has
+drifted from the committed artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Sequence
+
+from ..analysis import render_table
+from .artifacts import SCHEMA_VERSION, load_results_dir
+from .scenario import GROUPS
+
+__all__ = [
+    "DEFAULT_DOC_PATH",
+    "DEFAULT_RESULTS_DIR",
+    "check_report",
+    "render_report",
+    "write_report",
+]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_RESULTS_DIR = _REPO_ROOT / "benchmarks" / "results"
+DEFAULT_DOC_PATH = _REPO_ROOT / "docs" / "REPRODUCTION.md"
+
+_GROUP_HEADINGS = {
+    "table1": "Table 1 rows",
+    "figure": "Figures",
+    "theorem": "Per-theorem experiments",
+    "ablation": "Ablations",
+    "workload": "Workload matrix",
+}
+
+
+def _summary_rows(artifacts: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    return [
+        {
+            "scenario": a["scenario"],
+            "group": a["group"],
+            "problem": a["problem"],
+            "graph_family": a["graph_family"],
+            "regimes": ", ".join(a["regimes"]),
+            "axis": a["axis"],
+            "points": len(a["rows"]),
+            "quick": "yes" if a["quick"] else "no",
+        }
+        for a in artifacts
+    ]
+
+
+def render_report(artifacts: Sequence[dict[str, Any]]) -> str:
+    """Render the reproduction guide for *artifacts* (already validated)."""
+    families = sorted({a["graph_family"] for a in artifacts})
+    regimes = sorted({r for a in artifacts for r in a["regimes"]})
+    lines: list[str] = [
+        "# Reproduction guide",
+        "",
+        "<!-- GENERATED FILE — do not edit.  Regenerate with",
+        "     `python -m repro report` after `python -m repro bench all --json`. -->",
+        "",
+        f"Every experiment below is a declarative scenario in "
+        f"`src/repro/experiments/registry.py`, executed by the shared "
+        f"`Runner` and persisted as a schema-versioned JSON artifact "
+        f"(`{SCHEMA_VERSION}`) under `benchmarks/results/`.  This guide is "
+        f"generated from those artifacts.",
+        "",
+        f"**Coverage:** {len(artifacts)} scenarios, "
+        f"{len(families)} graph families ({', '.join(families)}), "
+        f"{len(regimes)} regimes ({', '.join(regimes)}).",
+        "",
+        "## How to reproduce",
+        "",
+        "```bash",
+        "python -m repro bench --list            # enumerate scenarios",
+        "python -m repro bench table1_mst        # run one (prints the table)",
+        "python -m repro bench all --json        # run everything, write artifacts",
+        "python -m repro report                  # regenerate this document",
+        "python -m repro report --check          # CI: fail if this doc is stale",
+        "```",
+        "",
+        "`--quick` shrinks every sweep to CI smoke sizes and redirects",
+        "artifacts to a `quick/` subdirectory of the results dir so",
+        "committed full-run artifacts are never clobbered.  The",
+        "paper-vs-measured semantics of",
+        "each column are documented in the scenario's `measure` function;",
+        "theorem-to-code pointers live in `docs/THEOREM_MAP.md`.",
+        "",
+        "## Scenario summary",
+        "",
+    ]
+    summary = _summary_rows(artifacts)
+    lines.append("```")
+    lines.append(render_table(
+        summary,
+        ["scenario", "group", "problem", "graph_family", "regimes", "axis",
+         "points", "quick"],
+    ))
+    lines.append("```")
+    for group in GROUPS:
+        group_artifacts = [a for a in artifacts if a["group"] == group]
+        if not group_artifacts:
+            continue
+        lines.append("")
+        lines.append(f"## {_GROUP_HEADINGS.get(group, group)}")
+        for a in group_artifacts:
+            lines.append("")
+            lines.append(f"### `{a['scenario']}`")
+            lines.append("")
+            lines.append(a["title"])
+            lines.append("")
+            lines.append(
+                f"*Problem:* {a['problem']} · *graph family:* "
+                f"{a['graph_family']} · *regimes:* {', '.join(a['regimes'])} · "
+                f"*sweep axis:* `{a['axis']}`"
+            )
+            lines.append("")
+            lines.append("```")
+            # Wall-clock columns stay in the JSON artifacts but out of the
+            # rendered guide: they carry timing noise, and this document
+            # must be byte-identical across regenerations of the same
+            # model-level results.
+            columns = [c for c in a["columns"] if not c.endswith("wall_s")]
+            lines.append(render_table(a["rows"], columns))
+            lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results_dir: pathlib.Path | str = DEFAULT_RESULTS_DIR,
+    doc_path: pathlib.Path | str = DEFAULT_DOC_PATH,
+) -> pathlib.Path:
+    """Regenerate the guide from *results_dir*; returns the written path."""
+    artifacts = load_results_dir(results_dir)
+    doc_path = pathlib.Path(doc_path)
+    doc_path.parent.mkdir(parents=True, exist_ok=True)
+    doc_path.write_text(render_report(artifacts))
+    return doc_path
+
+
+def check_report(
+    results_dir: pathlib.Path | str = DEFAULT_RESULTS_DIR,
+    doc_path: pathlib.Path | str = DEFAULT_DOC_PATH,
+) -> list[str]:
+    """Return a list of problems (empty = the committed guide is current)."""
+    problems: list[str] = []
+    doc_path = pathlib.Path(doc_path)
+    try:
+        artifacts = load_results_dir(results_dir)
+    except Exception as exc:
+        return [f"artifact validation failed: {exc}"]
+    if not artifacts:
+        problems.append(f"no JSON artifacts found in {results_dir}")
+        return problems
+    expected = render_report(artifacts)
+    if not doc_path.exists():
+        problems.append(f"{doc_path} is missing; run `python -m repro report`")
+    elif doc_path.read_text() != expected:
+        problems.append(
+            f"{doc_path} is stale; run `python -m repro report` and commit"
+        )
+    return problems

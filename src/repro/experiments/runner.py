@@ -1,0 +1,143 @@
+"""Executes :class:`~repro.experiments.scenario.Scenario` objects.
+
+One :class:`Runner` replaces the hand-rolled sweep loop every benchmark
+script used to carry: it iterates the scenario's sweep axis, seeds a
+deterministic RNG per point, lets the scenario measure the point, pulls
+round/word/wall-clock aggregates out of any :class:`~repro.mpc.ledger.
+RoundLedger` the measurement hands back, and packages the rows as a text
+table plus a schema-versioned JSON artifact (see ``artifacts.py``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..analysis import render_table
+from .artifacts import SCHEMA_VERSION, artifact_path, text_header, write_artifact
+from .scenario import Scenario
+
+__all__ = ["Runner", "ScenarioRun", "ledger_columns"]
+
+
+def ledger_columns(ledger: Any, prefix: str = "") -> dict[str, Any]:
+    """Word and wall-clock aggregates of one :class:`RoundLedger`,
+    as artifact-ready columns (``NoteStats.elapsed`` summed over notes)."""
+    tag = f"{prefix}_" if prefix else ""
+    return {
+        f"{tag}words": ledger.total_words,
+        f"{tag}wall_s": round(ledger.wall_time, 3),
+    }
+
+
+@dataclass
+class ScenarioRun:
+    """The outcome of running one scenario: rows plus render helpers."""
+
+    scenario: Scenario
+    rows: list[dict[str, Any]]
+    quick: bool
+    columns: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            self.columns = tuple(self.scenario.columns)
+
+    def to_artifact(self) -> dict[str, Any]:
+        s = self.scenario
+        return {
+            "schema": SCHEMA_VERSION,
+            "scenario": s.name,
+            "title": s.title,
+            "group": s.group,
+            "problem": s.problem,
+            "graph_family": s.graph_family,
+            "regimes": list(s.regimes),
+            "axis": s.axis,
+            "quick": self.quick,
+            "columns": list(self.columns),
+            "rows": self.rows,
+        }
+
+    def render_text(self) -> str:
+        """The legacy text-table artifact, now carrying a schema header so
+        text and JSON outputs stay correlated."""
+        title = self.scenario.title
+        return (
+            f"{text_header(self.scenario.name)}{title}\n{'=' * len(title)}\n"
+            f"{render_table(self.rows, self.columns)}\n"
+        )
+
+
+class Runner:
+    """Runs scenarios and persists their artifacts.
+
+    Args:
+        results_dir: where ``<scenario>.txt`` / ``<scenario>.json`` land
+            (``benchmarks/results`` for real runs, a scratch directory for
+            smoke runs).
+        seed: base seed mixed into every per-point RNG.
+    """
+
+    def __init__(self, results_dir: pathlib.Path | str | None = None, seed: int = 0):
+        self.results_dir = pathlib.Path(results_dir) if results_dir else None
+        self.seed = seed
+
+    def point_rng(self, scenario: Scenario, index: int) -> random.Random:
+        return random.Random(f"{self.seed}:{scenario.name}:{index}")
+
+    def run(self, scenario: Scenario, quick: bool = False) -> ScenarioRun:
+        """Execute one scenario's sweep; returns the collected rows.
+
+        Shape checks (``scenario.check``) run on full sweeps only: quick
+        sweeps are sized for smoke coverage, not asymptotics.
+        """
+        rows = []
+        extra_columns: list[str] = []
+        for index, point in enumerate(scenario.sweep(quick)):
+            row = scenario.measure(point, self.point_rng(scenario, index), quick)
+            ledgers = row.pop("_ledgers", None) or {}
+            for prefix, ledger in ledgers.items():
+                for key, value in ledger_columns(ledger, prefix).items():
+                    row[key] = value
+                    if key not in extra_columns:
+                        extra_columns.append(key)
+            rows.append(row)
+        columns = tuple(scenario.columns) + tuple(
+            c for c in extra_columns if c not in scenario.columns
+        )
+        run = ScenarioRun(scenario=scenario, rows=rows, quick=quick, columns=columns)
+        if scenario.check is not None and not quick:
+            scenario.check(rows)
+        return run
+
+    def persist(self, run: ScenarioRun, json_artifact: bool = True) -> list[pathlib.Path]:
+        """Write the text table and (optionally) the JSON artifact."""
+        if self.results_dir is None:
+            return []
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        written = []
+        text_path = self.results_dir / f"{run.scenario.name}.txt"
+        text_path.write_text(run.render_text())
+        written.append(text_path)
+        if json_artifact:
+            json_path = artifact_path(self.results_dir, run.scenario.name)
+            write_artifact(json_path, run.to_artifact())
+            written.append(json_path)
+        return written
+
+    def run_many(
+        self, scenarios: Iterable[Scenario], quick: bool = False,
+        json_artifact: bool = True, echo=None,
+    ) -> list[ScenarioRun]:
+        """Run several scenarios, persisting each as it completes."""
+        runs = []
+        for scenario in scenarios:
+            run = self.run(scenario, quick=quick)
+            self.persist(run, json_artifact=json_artifact)
+            if echo is not None:
+                echo(run)
+            runs.append(run)
+        return runs

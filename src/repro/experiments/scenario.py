@@ -1,0 +1,110 @@
+"""The declarative unit of the experiment subsystem: a :class:`Scenario`.
+
+A scenario describes one benchmark — a paper table row, figure, ablation,
+or workload-matrix cell — as data: which problem it measures, which
+:class:`~repro.mpc.ModelConfig` regimes it exercises, which graph family
+it runs on, the sweep axis with its full and ``--quick`` point sets, and
+how to measure one sweep point.  The :class:`~repro.experiments.runner.
+Runner` executes scenarios uniformly and emits text tables plus versioned
+JSON artifacts; nothing in this module runs anything.
+
+Adding a benchmark is a registry entry (see ``registry.py``), not a new
+script.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..mpc import ModelConfig
+
+__all__ = ["GROUPS", "REGIMES", "Scenario", "regime_config"]
+
+#: Scenario groups, in the order the generated reproduction guide lists
+#: them.
+GROUPS = ("table1", "figure", "theorem", "ablation", "workload")
+
+#: Named ``ModelConfig`` factories — the regimes a scenario can declare.
+#: Each takes the workload's ``n``/``m`` (plus regime-specific keywords)
+#: and returns a configuration.
+REGIMES: dict[str, Callable[..., ModelConfig]] = {
+    "heterogeneous": lambda n, m, **kw: ModelConfig.heterogeneous(n=n, m=m, **kw),
+    "sublinear": lambda n, m, **kw: ModelConfig.sublinear(n=n, m=m, **kw),
+    "near_linear": lambda n, m, **kw: ModelConfig.near_linear(n=n, m=m, **kw),
+    "superlinear": lambda n, m, f=0.5, **kw: ModelConfig.heterogeneous_superlinear(
+        n=n, m=m, f=f, **kw
+    ),
+}
+
+
+def regime_config(regime: str, n: int, m: int, **kw: Any) -> ModelConfig:
+    """Instantiate the named *regime* for an ``(n, m)`` workload."""
+    try:
+        factory = REGIMES[regime]
+    except KeyError:
+        raise ValueError(f"unknown regime {regime!r}; known: {sorted(REGIMES)}")
+    return factory(n=n, m=m, **kw)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative benchmark description.
+
+    Attributes:
+        name: artifact/experiment identifier (``benchmarks/results/<name>``).
+        title: one-line human heading for tables and the generated guide.
+        group: one of :data:`GROUPS`.
+        problem: problem key as used by ``repro.analysis.theory``
+            (``"mst"``, ``"connectivity"``, ...).
+        graph_family: the ``repro.graph.generators`` family the workload
+            draws from.
+        regimes: the :data:`REGIMES` names this scenario exercises.
+        axis: name of the sweep-axis column.
+        points: the full sweep.
+        quick_points: the ``--quick`` (CI smoke) sweep; defaults to
+            ``points``.
+        measure: ``measure(point, rng, quick) -> row dict`` — builds the
+            workload, runs the algorithm(s), and returns one row of
+            JSON-serializable metrics.  The special key ``"_ledgers"``
+            (a ``{label: RoundLedger}`` dict) is consumed by the Runner,
+            which replaces it with per-label word counts and a wall-clock
+            column.
+        columns: column order for the rendered text table.
+        check: optional ``check(rows) -> None`` asserting the growth shape
+            the paper predicts (runs on full sweeps only — quick sweeps
+            are too small to exhibit asymptotic shapes).
+        paper_ref: the paper statement being reproduced (free text).
+    """
+
+    name: str
+    title: str
+    group: str
+    problem: str
+    graph_family: str
+    regimes: tuple[str, ...]
+    axis: str
+    points: tuple
+    measure: Callable[[Any, random.Random, bool], dict[str, Any]] = field(repr=False)
+    columns: tuple[str, ...]
+    quick_points: tuple | None = None
+    check: Callable[[Sequence[dict[str, Any]]], None] | None = field(
+        default=None, repr=False
+    )
+    paper_ref: str = ""
+
+    def __post_init__(self) -> None:
+        if self.group not in GROUPS:
+            raise ValueError(f"unknown group {self.group!r}; known: {GROUPS}")
+        unknown = set(self.regimes) - set(REGIMES)
+        if unknown:
+            raise ValueError(f"unknown regimes {sorted(unknown)} in {self.name}")
+        if not self.points:
+            raise ValueError(f"scenario {self.name} has an empty sweep")
+
+    def sweep(self, quick: bool) -> tuple:
+        """The sweep points for a full or ``--quick`` run."""
+        if quick and self.quick_points is not None:
+            return self.quick_points
+        return self.points

@@ -20,9 +20,14 @@ __all__ = [
     "one_or_two_cycles",
     "complete_graph",
     "grid_graph",
+    "torus_graph",
     "preferential_attachment_graph",
+    "power_law_graph",
     "planted_components_graph",
+    "planted_community_graph",
+    "multi_component_graph",
     "planted_cut_graph",
+    "near_clique_graph",
     "random_bipartite_graph",
     "weighted",
 ]
@@ -156,6 +161,130 @@ def preferential_attachment_graph(n: int, k: int, rng: random.Random) -> Graph:
             edges.add((min(t, v), max(t, v)))
             endpoint_pool.extend((t, v))
     return Graph(n, sorted(edges))
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The periodic 2D grid (torus): :func:`grid_graph` plus wraparound
+    edges.  Both dimensions must be >= 3 so the wraparound edges are
+    distinct from the grid edges."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs rows >= 3 and cols >= 3")
+    edges = set(grid_graph(rows, cols).edge_set())
+    for r in range(rows):
+        edges.add((r * cols, r * cols + cols - 1))
+    for c in range(cols):
+        edges.add((c, (rows - 1) * cols + c))
+    return Graph(rows * cols, sorted(edges))
+
+
+def power_law_graph(
+    n: int, rng: random.Random, exponent: float = 2.5, avg_degree: float = 4.0
+) -> Graph:
+    """Chung–Lu power-law graph: vertex *i* has expected degree
+    ``w_i ~ (i+1)^(-1/(exponent-1))`` (scaled so the mean degree is
+    ``avg_degree``) and edge ``(u, v)`` appears independently with
+    probability ``min(1, w_u w_v / sum(w))``.
+
+    Unlike :func:`preferential_attachment_graph` (which grows a graph with
+    minimum degree *k*), this produces genuine power-law tails *and* many
+    degree-1 vertices — the skew that stresses degree-split phases from
+    both ends.  Connectivity is not guaranteed.
+    """
+    if exponent <= 2.0:
+        raise ValueError("need exponent > 2 for a finite-mean degree sequence")
+    if n < 2:
+        raise ValueError("need n >= 2")
+    raw = [(i + 1.0) ** (-1.0 / (exponent - 1.0)) for i in range(n)]
+    scale = avg_degree * n / sum(raw)
+    w = [x * scale for x in raw]
+    total = sum(w)
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < min(1.0, w[u] * w[v] / total):
+                edges.append((u, v))
+    return Graph(n, edges)
+
+
+def planted_community_graph(
+    n: int, communities: int, p_in: float, inter_edges: int, rng: random.Random
+) -> Graph:
+    """Connected planted-partition graph: *communities* equal-size blocks
+    of contiguous vertex ids, dense inside (each intra-pair present with
+    probability *p_in*, on top of a random spanning tree per block), and
+    sparse between (a ring of bridges joining consecutive blocks — this is
+    what keeps the graph connected — plus *inter_edges* extra random cross
+    edges).  Vertex ``v`` belongs to community ``v * communities // n``."""
+    if communities < 2 or communities * 2 > n:
+        raise ValueError("need 2 <= communities <= n/2")
+    bounds = [n * c // communities for c in range(communities + 1)]
+    blocks = [list(range(bounds[c], bounds[c + 1])) for c in range(communities)]
+    edges: set[tuple[int, int]] = set()
+    for block in blocks:
+        for index in range(1, len(block)):
+            parent = block[rng.randrange(index)]
+            edges.add((parent, block[index]))
+        for i, u in enumerate(block):
+            for v in block[i + 1:]:
+                if rng.random() < p_in:
+                    edges.add((u, v))
+    for c in range(communities):
+        u = rng.choice(blocks[c])
+        v = rng.choice(blocks[(c + 1) % communities])
+        edges.add((min(u, v), max(u, v)))
+    placed = 0
+    attempts = 0
+    while placed < inter_edges and attempts < 50 * inter_edges + 100:
+        attempts += 1
+        a, b = rng.sample(range(communities), 2)
+        u = rng.choice(blocks[a])
+        v = rng.choice(blocks[b])
+        edge = (min(u, v), max(u, v))
+        if edge not in edges:
+            edges.add(edge)
+            placed += 1
+    return Graph(n, sorted(edges))
+
+
+def multi_component_graph(
+    n: int, components: int, avg_degree: float, rng: random.Random
+) -> Graph:
+    """Disconnected graph with exactly *components* connected components of
+    uneven sizes, each one a :func:`random_connected_graph` of average
+    degree ~*avg_degree*.  Unlike :func:`planted_components_graph` (trees
+    plus a few extra edges) the components here are genuinely dense, so
+    sketch- and Borůvka-style algorithms do real merging work inside each
+    component before discovering that the pieces never join."""
+    if components < 2 or components * 3 > n:
+        raise ValueError("need 2 <= components <= n/3")
+    sizes = [3] * components
+    for _ in range(n - 3 * components):
+        sizes[rng.randrange(components)] += 1
+    edges: list[tuple[int, int]] = []
+    offset = 0
+    for size in sizes:
+        m = min(size * (size - 1) // 2, max(size - 1, int(avg_degree * size / 2)))
+        block = random_connected_graph(size, m, rng)
+        edges.extend((u + offset, v + offset) for u, v in block.edges)
+        offset += size
+    return Graph(n, sorted(edges))
+
+
+def near_clique_graph(n: int, missing: int, rng: random.Random) -> Graph:
+    """Dense near-clique: the complete graph on *n* vertices minus
+    *missing* random edges.  Since ``K_n`` is (n-1)-edge-connected, the
+    result is guaranteed connected whenever ``missing < n - 1``."""
+    max_edges = n * (n - 1) // 2
+    if not 0 <= missing <= max_edges:
+        raise ValueError(f"missing must lie in [0, {max_edges}]")
+    removed = _sample_edges(n, missing, rng)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if (u, v) not in removed
+    ]
+    return Graph(n, edges)
 
 
 def planted_components_graph(

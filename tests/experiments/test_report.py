@@ -1,0 +1,79 @@
+"""The generated reproduction guide: determinism and staleness checks."""
+
+import pathlib
+
+from repro.experiments import (
+    Runner,
+    check_report,
+    get_scenario,
+    load_results_dir,
+    render_report,
+    write_report,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _make_results(tmp_path):
+    runner = Runner(results_dir=tmp_path)
+    for name in ("workload_grid", "workload_near_clique"):
+        runner.persist(runner.run(get_scenario(name), quick=True))
+    return tmp_path
+
+
+def test_render_is_deterministic(tmp_path):
+    artifacts = load_results_dir(_make_results(tmp_path))
+    assert render_report(artifacts) == render_report(artifacts)
+
+
+def test_write_then_check_passes(tmp_path):
+    results = _make_results(tmp_path)
+    doc = tmp_path / "REPRODUCTION.md"
+    write_report(results_dir=results, doc_path=doc)
+    assert check_report(results_dir=results, doc_path=doc) == []
+
+
+def test_check_flags_stale_doc(tmp_path):
+    results = _make_results(tmp_path)
+    doc = tmp_path / "REPRODUCTION.md"
+    write_report(results_dir=results, doc_path=doc)
+    doc.write_text(doc.read_text() + "drift\n")
+    problems = check_report(results_dir=results, doc_path=doc)
+    assert problems and "stale" in problems[0]
+
+
+def test_check_flags_missing_doc(tmp_path):
+    results = _make_results(tmp_path)
+    problems = check_report(results_dir=results, doc_path=tmp_path / "nope.md")
+    assert problems and "missing" in problems[0]
+
+
+def test_check_flags_empty_results_dir(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    problems = check_report(results_dir=empty, doc_path=tmp_path / "doc.md")
+    assert problems and "no JSON artifacts" in problems[0]
+
+
+def test_check_flags_corrupt_artifact(tmp_path):
+    results = _make_results(tmp_path)
+    (results / "bad.json").write_text('{"schema": "wrong"}')
+    doc = tmp_path / "REPRODUCTION.md"
+    problems = check_report(results_dir=results, doc_path=doc)
+    assert problems and "validation failed" in problems[0]
+
+
+def test_report_mentions_every_artifact(tmp_path):
+    results = _make_results(tmp_path)
+    artifacts = load_results_dir(results)
+    text = render_report(artifacts)
+    for artifact in artifacts:
+        assert f"### `{artifact['scenario']}`" in text
+
+
+def test_committed_guide_is_current():
+    """The committed docs/REPRODUCTION.md matches the committed artifacts
+    (the same invariant CI enforces via `repro report --check`)."""
+    results = REPO_ROOT / "benchmarks" / "results"
+    doc = REPO_ROOT / "docs" / "REPRODUCTION.md"
+    assert check_report(results_dir=results, doc_path=doc) == []

@@ -1,0 +1,153 @@
+"""Runner execution and the repro.bench/1 artifact schema round-trip."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ArtifactError,
+    Runner,
+    SCHEMA_VERSION,
+    Scenario,
+    get_scenario,
+    load_artifact,
+    load_results_dir,
+    validate_artifact,
+    write_artifact,
+)
+from repro.mpc import Cluster, ModelConfig
+
+
+def _toy_scenario(**overrides):
+    def measure(point, rng, quick):
+        cluster = Cluster(ModelConfig.heterogeneous(n=16, m=32), rng=rng)
+        cluster.ledger.charge(point, note="toy")
+        return {"x": point, "doubled": 2 * point, "_ledgers": {"": cluster.ledger}}
+
+    fields = dict(
+        name="toy",
+        title="Toy scenario",
+        group="ablation",
+        problem="connectivity",
+        graph_family="gnm",
+        regimes=("heterogeneous",),
+        axis="x",
+        points=(1, 2, 3),
+        quick_points=(1,),
+        measure=measure,
+        columns=("x", "doubled"),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def test_runner_runs_sweep_and_appends_ledger_columns(tmp_path):
+    runner = Runner(results_dir=tmp_path)
+    run = runner.run(_toy_scenario())
+    assert [row["x"] for row in run.rows] == [1, 2, 3]
+    assert all("words" in row and "wall_s" in row for row in run.rows)
+    assert run.columns == ("x", "doubled", "words", "wall_s")
+
+
+def test_runner_quick_uses_quick_points_and_skips_checks(tmp_path):
+    def failing_check(rows):
+        raise AssertionError("must not run on quick sweeps")
+
+    runner = Runner(results_dir=tmp_path)
+    run = runner.run(_toy_scenario(check=failing_check), quick=True)
+    assert [row["x"] for row in run.rows] == [1]
+    assert run.quick
+
+
+def test_runner_check_runs_on_full_sweeps():
+    seen = []
+    runner = Runner()
+    runner.run(_toy_scenario(check=seen.append))
+    assert len(seen) == 1 and len(seen[0]) == 3
+
+
+def test_artifact_round_trip(tmp_path):
+    runner = Runner(results_dir=tmp_path)
+    run = runner.run(_toy_scenario())
+    paths = runner.persist(run)
+    assert [p.name for p in paths] == ["toy.txt", "toy.json"]
+    loaded = load_artifact(tmp_path / "toy.json")
+    assert loaded == run.to_artifact()
+    # And a second write is byte-identical (deterministic serialization).
+    before = (tmp_path / "toy.json").read_bytes()
+    write_artifact(tmp_path / "toy.json", loaded)
+    assert (tmp_path / "toy.json").read_bytes() == before
+
+
+def test_text_artifact_carries_schema_header(tmp_path):
+    from repro.experiments.artifacts import text_header
+
+    runner = Runner(results_dir=tmp_path)
+    runner.persist(runner.run(_toy_scenario()))
+    text = (tmp_path / "toy.txt").read_text()
+    assert text.startswith(text_header("toy"))
+    assert SCHEMA_VERSION in text
+
+
+def test_validate_rejects_missing_key():
+    artifact = Runner().run(_toy_scenario()).to_artifact()
+    artifact.pop("rows")
+    with pytest.raises(ArtifactError, match="rows"):
+        validate_artifact(artifact)
+
+
+def test_validate_rejects_wrong_schema_version():
+    artifact = Runner().run(_toy_scenario()).to_artifact()
+    artifact["schema"] = "repro.bench/99"
+    with pytest.raises(ArtifactError, match="schema"):
+        validate_artifact(artifact)
+
+
+def test_validate_rejects_non_scalar_row_values():
+    artifact = Runner().run(_toy_scenario()).to_artifact()
+    artifact["rows"][0]["bad"] = [1, 2]
+    with pytest.raises(ArtifactError, match="non-scalar"):
+        validate_artifact(artifact)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ArtifactError, match="invalid JSON"):
+        load_artifact(path)
+
+
+def test_load_results_dir_sorts_by_scenario(tmp_path):
+    runner = Runner(results_dir=tmp_path)
+    for name in ("zeta", "alpha"):
+        runner.persist(runner.run(_toy_scenario(name=name)))
+    loaded = load_results_dir(tmp_path)
+    assert [a["scenario"] for a in loaded] == ["alpha", "zeta"]
+
+
+def test_registered_scenario_quick_run_validates(tmp_path):
+    """A real registry scenario produces a schema-valid artifact."""
+    runner = Runner(results_dir=tmp_path, seed=0)
+    run = runner.run(get_scenario("workload_grid"), quick=True)
+    runner.persist(run)
+    artifact = load_artifact(tmp_path / "workload_grid.json")
+    assert artifact["quick"] is True
+    assert artifact["graph_family"] == "grid"
+    assert len(artifact["regimes"]) == 4
+    json.dumps(artifact)  # fully JSON-serializable
+
+
+def test_point_rng_is_deterministic():
+    runner = Runner(seed=7)
+    scenario = _toy_scenario()
+    a = runner.point_rng(scenario, 0).random()
+    b = Runner(seed=7).point_rng(scenario, 0).random()
+    assert a == b
+    assert runner.point_rng(scenario, 1).random() != a
+
+
+def test_scenario_rejects_unknown_group_and_regime():
+    with pytest.raises(ValueError, match="group"):
+        _toy_scenario(group="nope")
+    with pytest.raises(ValueError, match="regimes"):
+        _toy_scenario(regimes=("warp",))

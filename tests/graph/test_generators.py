@@ -125,3 +125,81 @@ def test_generators_are_reproducible():
     a = generators.gnm_random_graph(20, 50, random.Random(7))
     b = generators.gnm_random_graph(20, 50, random.Random(7))
     assert a.edges == b.edges
+
+
+# ----------------------------------------------------------------------
+# The five workload-matrix families (see repro.experiments registry)
+# ----------------------------------------------------------------------
+
+def test_torus_graph_is_4_regular(rng):
+    g = generators.torus_graph(5, 7)
+    assert g.n == 35 and g.m == 2 * 35  # every vertex has degree 4
+    assert set(g.degrees()) == {4}
+    assert is_connected(g)
+
+
+def test_torus_graph_rejects_thin_dimensions():
+    with pytest.raises(ValueError):
+        generators.torus_graph(2, 5)
+    with pytest.raises(ValueError):
+        generators.torus_graph(5, 2)
+
+
+def test_power_law_graph_has_skewed_degrees(rng):
+    g = generators.power_law_graph(300, rng, exponent=2.5, avg_degree=4.0)
+    degrees = sorted(g.degrees())
+    # Mean degree lands near the requested value...
+    assert 2.0 <= g.average_degree <= 6.0
+    # ...with a heavy tail: the max dwarfs the median.
+    assert degrees[-1] >= 3 * max(1, degrees[len(degrees) // 2])
+
+
+def test_power_law_graph_validation(rng):
+    with pytest.raises(ValueError):
+        generators.power_law_graph(20, rng, exponent=2.0)
+    with pytest.raises(ValueError):
+        generators.power_law_graph(1, rng)
+
+
+def test_planted_community_graph_connected_and_modular(rng):
+    communities = 5
+    g = generators.planted_community_graph(100, communities, 0.4, 8, rng)
+    assert is_connected(g)
+    # Intra-community edges dominate: membership is id * c // n.
+    intra = sum(
+        1 for u, v in g.edges
+        if u * communities // g.n == v * communities // g.n
+    )
+    assert intra > 2 * (g.m - intra)
+
+
+def test_planted_community_graph_validation(rng):
+    with pytest.raises(ValueError):
+        generators.planted_community_graph(10, 6, 0.5, 0, rng)
+
+
+def test_multi_component_graph_exact_components(rng):
+    g = generators.multi_component_graph(90, 4, 4.0, rng)
+    assert g.n == 90
+    assert connected_components(g).num_components == 4
+    # Denser than the tree-based planted_components family.
+    assert g.m > g.n
+
+
+def test_multi_component_graph_validation(rng):
+    with pytest.raises(ValueError):
+        generators.multi_component_graph(10, 4, 3.0, rng)
+
+
+def test_near_clique_graph_dense_and_connected(rng):
+    n, missing = 20, 12
+    g = generators.near_clique_graph(n, missing, rng)
+    assert g.m == n * (n - 1) // 2 - missing
+    assert is_connected(g)  # guaranteed: missing < n - 1
+    assert min(g.degrees()) >= n - 1 - missing
+
+
+def test_near_clique_graph_validation(rng):
+    with pytest.raises(ValueError):
+        generators.near_clique_graph(5, 11, rng)
+    assert generators.near_clique_graph(5, 0, rng).m == 10

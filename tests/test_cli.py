@@ -1,8 +1,11 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import load_artifact
 
 
 def run(capsys, argv):
@@ -88,3 +91,63 @@ def test_compare_command(capsys):
 def test_gamma_flag(capsys):
     out = run(capsys, ["mst", "--n", "36", "--m", "150", "--gamma", "0.3"])
     assert "verified=True" in out
+
+
+def test_bench_list(capsys):
+    out = run(capsys, ["bench", "--list"])
+    assert "table1_mst" in out and "workload_near_clique" in out
+
+
+def test_bench_requires_scenarios(capsys):
+    assert main(["bench"]) == 2
+    assert "bench:" in capsys.readouterr().err
+
+
+def test_bench_unknown_scenario(capsys):
+    assert main(["bench", "no_such_scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bench_quick_smoke_writes_schema_valid_artifacts(capsys, tmp_path):
+    out = run(capsys, [
+        "bench", "workload_grid", "ablation_kkt_sampling",
+        "--quick", "--json", "--out", str(tmp_path),
+    ])
+    assert "wrote 2 scenario artifact(s)" in out
+    artifact = load_artifact(tmp_path / "workload_grid.json")
+    assert artifact["quick"] is True
+    assert {row["regime"] for row in artifact["rows"]} == {
+        "heterogeneous", "sublinear", "near_linear", "superlinear",
+    }
+    text = (tmp_path / "ablation_kkt_sampling.txt").read_text()
+    assert text.startswith("# schema: repro.bench/1")
+
+
+def test_report_generates_and_checks(capsys, tmp_path):
+    run(capsys, ["bench", "workload_near_clique", "--quick", "--json",
+                 "--out", str(tmp_path)])
+    doc = tmp_path / "GUIDE.md"
+    out = run(capsys, ["report", "--results", str(tmp_path), "--out", str(doc)])
+    assert "wrote" in out
+    assert "workload_near_clique" in doc.read_text()
+    out = run(capsys, ["report", "--check", "--results", str(tmp_path),
+                       "--out", str(doc)])
+    assert "up to date" in out
+
+
+def test_report_check_fails_on_stale_doc(capsys, tmp_path):
+    run(capsys, ["bench", "workload_near_clique", "--quick", "--json",
+                 "--out", str(tmp_path)])
+    doc = tmp_path / "GUIDE.md"
+    run(capsys, ["report", "--results", str(tmp_path), "--out", str(doc)])
+    doc.write_text(doc.read_text() + "drift\n")
+    assert main(["report", "--check", "--results", str(tmp_path),
+                 "--out", str(doc)]) == 1
+    assert "stale" in capsys.readouterr().err
+
+
+def test_report_check_fails_on_schema_violation(capsys, tmp_path):
+    (tmp_path / "bad.json").write_text(json.dumps({"schema": "repro.bench/1"}))
+    assert main(["report", "--check", "--results", str(tmp_path),
+                 "--out", str(tmp_path / "GUIDE.md")]) == 1
+    assert "validation failed" in capsys.readouterr().err
