@@ -4,8 +4,10 @@ Scenario benchmarks are thin wrappers: :func:`run_scenario_benchmark`
 looks the scenario up in ``repro.experiments.registry``, executes it
 through the shared ``Runner``, prints the table (visible with ``pytest
 benchmarks/ --benchmark-only -s``) and persists both the text table and
-the ``repro.bench/1`` JSON artifact to ``benchmarks/results/`` — the
+the ``repro.bench/2`` JSON artifact to ``benchmarks/results/`` — the
 inputs ``python -m repro report`` turns into ``docs/REPRODUCTION.md``.
+(``python -m repro bench all --json`` additionally maintains the
+``suite.json`` roll-up; single-scenario wrappers leave it untouched.)
 
 The stand-alone throughput benchmarks still use :func:`publish` directly.
 Setting ``REPRO_BENCH_SMOKE=1`` switches scenario runs to quick sizing

@@ -15,6 +15,7 @@ Examples::
     python -m repro compare --n 96 --m 1500             # regime table
     python -m repro bench --list                        # scenario registry
     python -m repro bench all --quick --json            # smoke all scenarios
+    python -m repro bench all --json --jobs 4           # process-pool sweep
     python -m repro report --check                      # docs/REPRODUCTION.md
 """
 
@@ -118,7 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI smoke sizing (also via REPRO_BENCH_SMOKE=1); "
                         "artifacts go to benchmarks/results/quick/")
     p.add_argument("--json", action="store_true", dest="json_artifacts",
-                   help="also write repro.bench/1 JSON artifacts")
+                   help="also write repro.bench/2 JSON artifacts")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="run sweep points on a process pool of N workers; "
+                        "artifacts are byte-identical to a serial run")
     p.add_argument("--out", default=None,
                    help="results directory (default benchmarks/results, "
                         "or benchmarks/results/quick with --quick)")
@@ -173,13 +177,24 @@ def _bench_command(args) -> int:
         results_dir = experiments.report.DEFAULT_RESULTS_DIR
         if quick:
             results_dir = results_dir / "quick"
-    runner = experiments.Runner(results_dir=results_dir, seed=args.seed)
-    runner.run_many(
+    if args.jobs > 1:
+        runner = experiments.ParallelRunner(
+            results_dir=results_dir, seed=args.seed, jobs=args.jobs
+        )
+    else:
+        runner = experiments.Runner(results_dir=results_dir, seed=args.seed)
+    runs = runner.run_many(
         selected,
         quick=quick,
         json_artifact=args.json_artifacts,
         echo=lambda run: print(run.render_text()),
     )
+    if args.scenarios == ["all"] and args.json_artifacts:
+        # The cross-scenario roll-up only makes sense (and is only safe to
+        # overwrite) when the whole registry ran.
+        suite = runner.persist_suite(runs)
+        if suite is not None:
+            print(f"wrote suite roll-up to {suite}")
     print(f"wrote {len(selected)} scenario artifact(s) to {results_dir}")
     return 0
 

@@ -90,7 +90,16 @@ def sketch_components(
         bank.add_vertex(v)  # isolated vertices get zero rows
 
     # Local Borůvka in sketch space on the (large) destination machine.
-    uf, _ = bank_boruvka(bank)
+    # The assembled bank is that machine's working state — charge it for
+    # the duration of the computation so the memory ledger (and strict
+    # mode) sees the n * polylog(n) sketch footprint Theorem C.1 budgets.
+    dst_machine = cluster.machine(dst)
+    dst_machine.put(f"{note}#bank", bank)
+    try:
+        uf, _ = bank_boruvka(bank)
+        cluster.checkpoint_memory(f"{note}/boruvka")
+    finally:
+        dst_machine.pop(f"{note}#bank", None)
     smallest: dict[int, int] = {}
     for v in range(n):
         root = uf.find(v)

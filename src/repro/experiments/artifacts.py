@@ -1,11 +1,11 @@
 """Versioned JSON artifacts for benchmark runs.
 
-Schema ``repro.bench/1`` — one JSON object per scenario run, written to
+Schema ``repro.bench/2`` — one JSON object per scenario run, written to
 ``benchmarks/results/<scenario>.json`` next to the legacy text table:
 
 ```
 {
-  "schema":       "repro.bench/1",
+  "schema":       "repro.bench/2",
   "scenario":     "table1_mst",            # registry name
   "title":        "...",                   # human heading
   "group":        "table1",                # table1|figure|theorem|ablation|workload
@@ -15,14 +15,35 @@ Schema ``repro.bench/1`` — one JSON object per scenario run, written to
   "axis":         "m/n",                   # sweep-axis column name
   "quick":        false,                   # smoke sizing?
   "columns":      ["m/n", "het_rounds", ...],
-  "rows":         [{"m/n": 2, "het_rounds": 9, ...}, ...]
+  "rows":         [{"m/n": 2, "het_rounds": 9, ...}, ...],
+  "totals":       {"rounds": 128, "words": 230358,
+                   "max_memory": 4888, "violations": 12}
 }
 ```
+
+Changes from ``repro.bench/1``:
+
+* every per-point ledger contributes a ``<prefix>_max_memory`` column —
+  the highest per-machine memory high-water mark of that run, the model's
+  second budget;
+* a required ``totals`` roll-up (rounds / words / max_memory / violations
+  summed resp. maxed over the sweep's ledgers) feeds the ``suite.json``
+  aggregate;
+* the per-point ``<prefix>_wall_s`` columns are gone: artifacts are
+  **byte-deterministic** — the same scenario, seed and sizing produce the
+  same bytes whether run serially or via ``--jobs N`` — and wall-clock
+  noise broke that.  Timing stays available interactively through
+  ``RoundLedger.note_stats`` / ``hottest_notes``.
 
 Rows hold only JSON scalars (numbers, strings, booleans, null).  The
 schema is additive: readers must ignore unknown keys, and any breaking
 change bumps the version suffix.  ``docs/REPRODUCTION.md`` is generated
 from these artifacts by ``python -m repro report``.
+
+``suite.json`` (schema ``repro.bench.suite/1``) is the cross-scenario
+roll-up written by ``python -m repro bench all``: one row per scenario
+with its ``totals``, so dashboards and CI can watch the whole matrix
+without parsing 21 files.
 """
 
 from __future__ import annotations
@@ -33,16 +54,28 @@ from typing import Any
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUITE_SCHEMA_VERSION",
     "ArtifactError",
     "artifact_path",
     "load_artifact",
     "load_results_dir",
+    "load_suite",
+    "suite_path",
     "text_header",
     "validate_artifact",
+    "validate_suite",
     "write_artifact",
+    "write_suite",
 ]
 
-SCHEMA_VERSION = "repro.bench/1"
+SCHEMA_VERSION = "repro.bench/2"
+SUITE_SCHEMA_VERSION = "repro.bench.suite/1"
+
+#: The per-scenario roll-up counters carried in ``totals`` and aggregated
+#: into ``suite.json``.
+TOTAL_KEYS = ("rounds", "words", "max_memory", "violations")
+
+SUITE_FILENAME = "suite.json"
 
 
 def text_header(experiment: str) -> str:
@@ -62,6 +95,7 @@ _REQUIRED: dict[str, type | tuple[type, ...]] = {
     "quick": bool,
     "columns": list,
     "rows": list,
+    "totals": dict,
 }
 
 _SCALAR = (int, float, str, bool, type(None))
@@ -71,8 +105,19 @@ class ArtifactError(ValueError):
     """A benchmark artifact does not conform to the schema."""
 
 
+def _check_totals(totals: Any, source: str) -> None:
+    for key in TOTAL_KEYS:
+        if key not in totals:
+            raise ArtifactError(f"{source}: totals missing key {key!r}")
+        if not isinstance(totals[key], int) or isinstance(totals[key], bool):
+            raise ArtifactError(
+                f"{source}: totals key {key!r} must be an integer, "
+                f"got {type(totals[key]).__name__}"
+            )
+
+
 def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
-    """Check *obj* against schema ``repro.bench/1``; return it unchanged.
+    """Check *obj* against schema ``repro.bench/2``; return it unchanged.
 
     Raises :class:`ArtifactError` naming the offending key on failure.
     """
@@ -103,6 +148,37 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
                     f"{source}: row {index} key {key!r} holds non-scalar "
                     f"{type(value).__name__}"
                 )
+    _check_totals(obj["totals"], source)
+    return obj
+
+
+def validate_suite(obj: Any, source: str = "suite") -> dict[str, Any]:
+    """Check *obj* against schema ``repro.bench.suite/1``; return it."""
+    if not isinstance(obj, dict):
+        raise ArtifactError(f"{source}: expected a JSON object, got {type(obj).__name__}")
+    if obj.get("schema") != SUITE_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"{source}: schema {obj.get('schema')!r} != {SUITE_SCHEMA_VERSION!r}"
+        )
+    if not isinstance(obj.get("quick"), bool):
+        raise ArtifactError(f"{source}: key 'quick' must be bool")
+    scenarios = obj.get("scenarios")
+    if not isinstance(scenarios, list):
+        raise ArtifactError(f"{source}: key 'scenarios' must be a list")
+    for index, row in enumerate(scenarios):
+        if not isinstance(row, dict):
+            raise ArtifactError(f"{source}: scenario row {index} is not an object")
+        for key in ("scenario", "group"):
+            if not isinstance(row.get(key), str):
+                raise ArtifactError(
+                    f"{source}: scenario row {index} key {key!r} must be str"
+                )
+        points = row.get("points")
+        if not isinstance(points, int) or isinstance(points, bool):
+            raise ArtifactError(
+                f"{source}: scenario row {index} key 'points' must be int"
+            )
+        _check_totals(row, f"{source}: scenario row {index}")
     return obj
 
 
@@ -110,13 +186,27 @@ def artifact_path(results_dir: pathlib.Path | str, scenario: str) -> pathlib.Pat
     return pathlib.Path(results_dir) / f"{scenario}.json"
 
 
+def suite_path(results_dir: pathlib.Path | str) -> pathlib.Path:
+    return pathlib.Path(results_dir) / SUITE_FILENAME
+
+
+def _write_json(path: pathlib.Path | str, obj: dict[str, Any]) -> None:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
 def write_artifact(path: pathlib.Path | str, obj: dict[str, Any]) -> None:
     """Validate and persist one artifact (stable key order, trailing
     newline, so regeneration is byte-deterministic)."""
     validate_artifact(obj, source=str(path))
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+    _write_json(path, obj)
+
+
+def write_suite(path: pathlib.Path | str, obj: dict[str, Any]) -> None:
+    """Validate and persist the suite roll-up artifact."""
+    validate_suite(obj, source=str(path))
+    _write_json(path, obj)
 
 
 def load_artifact(path: pathlib.Path | str) -> dict[str, Any]:
@@ -129,9 +219,25 @@ def load_artifact(path: pathlib.Path | str) -> dict[str, Any]:
     return validate_artifact(obj, source=str(path))
 
 
+def load_suite(path: pathlib.Path | str) -> dict[str, Any]:
+    """Load and validate the suite roll-up artifact."""
+    path = pathlib.Path(path)
+    try:
+        obj = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: invalid JSON ({exc})") from exc
+    return validate_suite(obj, source=str(path))
+
+
 def load_results_dir(results_dir: pathlib.Path | str) -> list[dict[str, Any]]:
-    """Load every ``*.json`` artifact in *results_dir*, sorted by scenario
-    name (the deterministic order the report generator relies on)."""
+    """Load every per-scenario ``*.json`` artifact in *results_dir*, sorted
+    by scenario name (the deterministic order the report generator relies
+    on).  The ``suite.json`` roll-up lives in the same directory but has
+    its own schema and loader (:func:`load_suite`)."""
     results_dir = pathlib.Path(results_dir)
-    artifacts = [load_artifact(p) for p in sorted(results_dir.glob("*.json"))]
+    artifacts = [
+        load_artifact(p)
+        for p in sorted(results_dir.glob("*.json"))
+        if p.name != SUITE_FILENAME
+    ]
     return sorted(artifacts, key=lambda a: a["scenario"])

@@ -1,8 +1,8 @@
 """Generates ``docs/REPRODUCTION.md`` from the JSON benchmark artifacts.
 
 The reproduction guide is *derived*, never hand-edited: ``python -m repro
-report`` reads every ``benchmarks/results/*.json`` artifact (schema
-``repro.bench/1``), validates it, and renders a deterministic markdown
+report`` reads every per-scenario ``benchmarks/results/*.json`` artifact
+(schema ``repro.bench/2``), validates it, and renders a deterministic markdown
 document — same artifacts in, byte-identical document out.  CI runs
 ``python -m repro report --check`` to fail when the committed guide has
 drifted from the committed artifacts.
@@ -48,7 +48,9 @@ def _summary_rows(artifacts: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
             "regimes": ", ".join(a["regimes"]),
             "axis": a["axis"],
             "points": len(a["rows"]),
-            "quick": "yes" if a["quick"] else "no",
+            "rounds": a["totals"]["rounds"],
+            "words": a["totals"]["words"],
+            "max_memory": a["totals"]["max_memory"],
         }
         for a in artifacts
     ]
@@ -80,13 +82,21 @@ def render_report(artifacts: Sequence[dict[str, Any]]) -> str:
         "python -m repro bench --list            # enumerate scenarios",
         "python -m repro bench table1_mst        # run one (prints the table)",
         "python -m repro bench all --json        # run everything, write artifacts",
+        "python -m repro bench all --json --jobs 4   # same bytes, process pool",
         "python -m repro report                  # regenerate this document",
         "python -m repro report --check          # CI: fail if this doc is stale",
         "```",
         "",
         "`--quick` shrinks every sweep to CI smoke sizes and redirects",
         "artifacts to a `quick/` subdirectory of the results dir so",
-        "committed full-run artifacts are never clobbered.  The",
+        "committed full-run artifacts are never clobbered.  `--jobs N` fans",
+        "the sweep points out over N processes; artifacts are deterministic",
+        "and byte-identical to a serial run with the same seed and sizing.",
+        "Running `all` also writes a `suite.json` roll-up (one row per",
+        "scenario: rounds, words, max-memory, recorded violations).  The",
+        "`*_max_memory` columns report the highest per-machine memory",
+        "high-water mark of a run — the model's second budget, enforced by",
+        "strict mode and recorded as ledger violations otherwise.  The",
         "paper-vs-measured semantics of",
         "each column are documented in the scenario's `measure` function;",
         "theorem-to-code pointers live in `docs/THEOREM_MAP.md`.",
@@ -99,7 +109,7 @@ def render_report(artifacts: Sequence[dict[str, Any]]) -> str:
     lines.append(render_table(
         summary,
         ["scenario", "group", "problem", "graph_family", "regimes", "axis",
-         "points", "quick"],
+         "points", "rounds", "words", "max_memory"],
     ))
     lines.append("```")
     for group in GROUPS:
@@ -121,10 +131,9 @@ def render_report(artifacts: Sequence[dict[str, Any]]) -> str:
             )
             lines.append("")
             lines.append("```")
-            # Wall-clock columns stay in the JSON artifacts but out of the
-            # rendered guide: they carry timing noise, and this document
-            # must be byte-identical across regenerations of the same
-            # model-level results.
+            # Wall-clock columns were dropped from the artifacts in
+            # repro.bench/2 (timing noise broke byte-determinism); the
+            # filter stays as a guard against any future non-model column.
             columns = [c for c in a["columns"] if not c.endswith("wall_s")]
             lines.append(render_table(a["rows"], columns))
             lines.append("```")

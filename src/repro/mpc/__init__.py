@@ -16,26 +16,34 @@ One synchronous round is described by a :class:`RoundPlan` and executed by
     plan.send_batch(src, dst, [a, b, c])      # a whole batch, sized in bulk
     inboxes = cluster.execute(plan)           # charges exactly one round
 
-The plan groups traffic per ``(src, dst)`` pair; ``execute`` sizes every
-batch with one :func:`word_size_many` pass (fast-pathing homogeneous scalar
-and edge-tuple batches), charges send/receive volumes against machine
-capacities, raises :class:`CommunicationLimitExceeded` in strict mode, and
-fills inboxes batch by batch.  Per-round item counts and wall-clock time
-are recorded in the ledger's :class:`NoteStats` so benchmarks can attribute
-cost per note label.
+The plan groups traffic per ``(src, dst)`` pair for accounting; ``execute``
+sizes every batch with one :func:`word_size_many` pass (fast-pathing
+homogeneous scalar, edge-tuple, and bytes batches), charges send/receive
+volumes against machine capacities, and fills inboxes in exact send-call
+order.  A plan that moves no data is a no-op (zero rounds).  Per-round
+item counts and wall-clock time are recorded in the ledger's
+:class:`NoteStats` so benchmarks can attribute cost per note label.
+
+Both budgets of the model are enforced: per-round communication volumes
+and per-machine memory (``Machine.put`` datasets versus capacity, checked
+at every round and at input placement).  In strict mode
+(``ModelConfig(strict=True)``) the former raises
+:class:`CommunicationLimitExceeded` and the latter
+:class:`MemoryLimitExceeded`; otherwise both are recorded in the ledger's
+``violations`` stream.
 
 Compatibility policy
 --------------------
 
 :meth:`Cluster.exchange` — the original per-``(src, dst, payload)`` message
 API — is retained indefinitely as a thin wrapper that builds a plan and
-calls ``execute``.  Rounds charged, words charged, strict-mode behavior and
-ledger totals are identical on both paths.  The only divergence is inbox
-ordering when a message list interleaves sources: deliveries are grouped by
-``(src, dst)`` pair (pairs in first-send order, items in send order).
-Source-major producers — every producer in this repo — observe byte-for-byte
-identical inboxes.  New code should prefer ``RoundPlan`` +
-``Cluster.execute``; ``exchange`` exists so external callers never break.
+calls ``execute``.  Rounds charged, words charged, strict-mode behavior,
+ledger totals, and inbox orderings are identical on both paths: the plan
+tracks per-destination delivery segments, so even message lists that
+interleave sources deliver in exact per-message order (pinned by a
+property test in ``tests/mpc/test_plan.py``).  New code should prefer
+``RoundPlan`` + ``Cluster.execute``; ``exchange`` exists so external
+callers never break.
 """
 
 from .cluster import Cluster, Message

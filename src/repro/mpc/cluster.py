@@ -4,8 +4,15 @@ The cluster is deliberately *orchestrated*: algorithm code runs centrally
 and moves data between machines in synchronous rounds.  The honesty of the
 simulation lives in the ledger — every logical communication costs a round,
 every payload is charged its word size against the sender's and receiver's
-capacity, and memory high-water marks are recorded after every round.
-(Local computation between rounds is free, exactly as in the model.)
+capacity, and *both* per-machine budgets of the heterogeneous MPC model
+are enforced: words communicated per round **and** words of local memory.
+Memory usage is checked against each machine's capacity at every round
+(and at input placement); violations are recorded in the ledger next to
+the communication violations, and in strict mode they raise
+:class:`MemoryLimitExceeded` / :class:`CommunicationLimitExceeded`
+respectively.  (Local computation between rounds is free, exactly as in
+the model — but the state it leaves behind is not: scratch datasets count
+against memory until they are explicitly freed with ``Machine.pop``.)
 
 Rounds are executed by the *batched round engine*: algorithms build a
 :class:`~repro.mpc.plan.RoundPlan` (traffic grouped per ``(src, dst)``
@@ -23,7 +30,7 @@ import time
 from typing import Any, Callable, Iterable, Sequence
 
 from .config import ModelConfig
-from .errors import CommunicationLimitExceeded, ProtocolError
+from .errors import CommunicationLimitExceeded, MemoryLimitExceeded, ProtocolError
 from .ledger import RoundLedger
 from .machine import LARGE, SMALL, Machine
 from .plan import Message, RoundPlan
@@ -38,13 +45,21 @@ class Cluster:
     def __init__(self, config: ModelConfig, rng: random.Random | None = None) -> None:
         self.config = config
         self.rng = rng if rng is not None else random.Random(0)
+        # Input placement draws from a dedicated stream derived from the
+        # cluster seed (the rng's initial state), so adding an unrelated
+        # self.rng use later can never shift where the input lands.
+        self._placement_rng = random.Random(repr(self.rng.getstate()))
         self.ledger = RoundLedger()
 
         self.smalls: list[Machine] = [
-            Machine(i, SMALL, config.small_capacity) for i in range(config.num_small)
+            Machine(i, SMALL, config.small_capacity, strict=config.strict)
+            for i in range(config.num_small)
         ]
         self.larges: list[Machine] = [
-            Machine(config.num_small + j, LARGE, config.large_capacity)
+            Machine(
+                config.num_small + j, LARGE, config.large_capacity,
+                strict=config.strict,
+            )
             for j in range(config.num_large)
         ]
         self.machines: dict[int, Machine] = {
@@ -81,33 +96,34 @@ class Cluster:
     def execute(self, plan: RoundPlan) -> dict[int, list[Any]]:
         """Run *plan* as one synchronous round.
 
-        Each ``(src, dst)`` batch is sized in one bulk pass and delivered
-        as a block; send/receive volumes are charged against each machine's
-        capacity.  In strict mode a violation raises
-        :class:`CommunicationLimitExceeded` before the round is recorded,
-        otherwise it is recorded in the ledger.  Returns the inbox of each
-        machine that received at least one item.
+        Each ``(src, dst)`` batch is sized in one bulk pass; inboxes are
+        filled in exact send-call order (``plan.deliveries()``), and
+        send/receive volumes are charged against each machine's capacity.
+        Memory usage is checked against each machine's capacity as part of
+        the round.  In strict mode a violation raises
+        :class:`CommunicationLimitExceeded` (traffic) or
+        :class:`MemoryLimitExceeded` (stored state) before the round is
+        recorded, otherwise it is recorded in the ledger.  An empty plan
+        is a no-op: no data moves, so no round is charged.  Returns the
+        inbox of each machine that received at least one item.
         """
+        if plan.is_empty:
+            return {}
         start = time.perf_counter()
         sent: dict[int, int] = {}
         received: dict[int, int] = {}
-        inboxes: dict[int, list[Any]] = {}
         total = 0
         items = 0
 
-        for src, dst, batch in plan.batches():
+        for src, dst, run in plan.runs():
             if src not in self.machines or dst not in self.machines:
                 raise ProtocolError(f"message between unknown machines {src}->{dst}")
-            words = word_size_many(batch)
+            words = word_size_many(run)
             total += words
-            items += len(batch)
+            items += len(run)
             sent[src] = sent.get(src, 0) + words
             received[dst] = received.get(dst, 0) + words
-            inbox = inboxes.get(dst)
-            if inbox is None:
-                inboxes[dst] = list(batch)
-            else:
-                inbox.extend(batch)
+        inboxes = {dst: items_ for dst, items_ in plan.deliveries()}
 
         note = plan.note
         violations: list[str] = []
@@ -125,6 +141,10 @@ class Cluster:
                 )
         if violations and self.config.strict:
             raise CommunicationLimitExceeded("; ".join(violations))
+        memory_violations = self._record_memory(note)
+        if memory_violations and self.config.strict:
+            raise MemoryLimitExceeded("; ".join(memory_violations))
+        violations.extend(memory_violations)
 
         self.ledger.record_round(
             note=note,
@@ -135,7 +155,6 @@ class Cluster:
             items=items,
             elapsed=time.perf_counter() - start,
         )
-        self._record_memory()
         return inboxes
 
     def exchange(
@@ -145,15 +164,46 @@ class Cluster:
 
         Compatibility wrapper over :meth:`execute`: the messages are
         grouped into a :class:`RoundPlan` and run through the batched
-        engine.  Rounds, words, and violations are identical to the
-        historical per-message accounting; inbox ordering is preserved for
-        source-major message lists (see :mod:`repro.mpc.plan`).
+        engine.  Rounds, words, violations, and inbox orderings are
+        identical to the historical per-message accounting — the plan's
+        delivery segments preserve send order even for interleaved
+        (non-source-major) message lists.  An empty message list costs no
+        round.
         """
         return self.execute(RoundPlan(note=note).extend(messages))
 
-    def _record_memory(self) -> None:
+    def _record_memory(self, note: str = "") -> list[str]:
+        """Update memory high-water marks; return capacity violations.
+
+        Violation messages mirror the communication ones ("round R [note]:
+        machine M ...") so they land in the same per-round ``violations``
+        tuple and ledger stream.
+        """
+        violations: list[str] = []
         for machine in self.machines.values():
-            self.ledger.record_memory(machine.machine_id, machine.usage)
+            usage = machine.usage
+            self.ledger.record_memory(machine.machine_id, usage)
+            if usage > machine.capacity:
+                violations.append(
+                    f"round {self.ledger.rounds + 1} [{note}]: machine "
+                    f"{machine.machine_id} holds {usage} > memory capacity "
+                    f"{machine.capacity}"
+                )
+        return violations
+
+    def checkpoint_memory(self, note: str = "") -> list[str]:
+        """Check memory between rounds (input placement, cast boundaries).
+
+        Updates high-water marks, appends any over-capacity messages to the
+        ledger's ``violations`` stream, and — matching the per-round check
+        of :meth:`execute` — raises :class:`MemoryLimitExceeded` in strict
+        mode.  Returns the violation messages otherwise.
+        """
+        violations = self._record_memory(note)
+        if violations and self.config.strict:
+            raise MemoryLimitExceeded("; ".join(violations))
+        self.ledger.violations.extend(violations)
+        return violations
 
     # ------------------------------------------------------------------
     # Common one-round patterns
@@ -193,7 +243,15 @@ class Cluster:
         shuffle: bool = True,
     ) -> None:
         """Place the input edges on the small machines (arbitrarily, as the
-        model allows; costs zero rounds — this is the *initial* state)."""
+        model allows; costs zero rounds — this is the *initial* state).
+
+        The shuffle draws from the dedicated placement RNG, so the
+        placement of a given input under a given cluster seed is stable no
+        matter what else consumed ``self.rng`` beforehand.  Oversized
+        placements are memory violations: recorded in the ledger, raised
+        as :class:`MemoryLimitExceeded` in strict mode (by ``Machine.put``
+        itself).
+        """
         if not self.smalls:
             raise ProtocolError(
                 "cannot distribute input: this configuration has no small "
@@ -201,13 +259,13 @@ class Cluster:
             )
         order = list(edges)
         if shuffle:
-            self.rng.shuffle(order)
+            self._placement_rng.shuffle(order)
         buckets: list[list[Any]] = [[] for _ in self.smalls]
         for index, edge in enumerate(order):
             buckets[index % len(buckets)].append(edge)
         for machine, bucket in zip(self.smalls, buckets):
             machine.put(name, bucket)
-        self._record_memory()
+        self.checkpoint_memory(f"input/{name}")
 
     # ------------------------------------------------------------------
     # Simulation-side inspection (costs no rounds; used by orchestration

@@ -153,6 +153,11 @@ class RoundLedger:
         return sum(record.total_words for record in self.records)
 
     @property
+    def max_memory(self) -> int:
+        """Highest memory high-water mark over all machines, in words."""
+        return max(self.memory_high_water.values(), default=0)
+
+    @property
     def wall_time(self) -> float:
         """Total simulator wall-clock seconds spent inside rounds."""
         return sum(stats.elapsed for stats in self.note_stats.values())
@@ -169,7 +174,7 @@ class RoundLedger:
             "rounds": self.rounds,
             "total_words": self.total_words,
             "violations": len(self.violations),
-            "max_memory": max(self.memory_high_water.values(), default=0),
+            "max_memory": self.max_memory,
         }
 
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from .errors import MemoryLimitExceeded
 from .words import word_size
 
 __all__ = ["Machine", "SMALL", "LARGE"]
@@ -19,14 +20,26 @@ class Machine:
     machine tracks the word size of each dataset so the cluster can enforce
     or record memory usage cheaply.  Code that mutates a stored container in
     place must call :meth:`touch` so the cached size is refreshed.
+
+    Memory honesty: in strict mode (``strict=True``, set by the cluster
+    from ``ModelConfig.strict``) any :meth:`put` or :meth:`touch` that
+    would push total usage past ``capacity`` raises
+    :class:`~repro.mpc.errors.MemoryLimitExceeded` at the moment of
+    hoarding — scratch state must be charged within budget or explicitly
+    freed (:meth:`pop`).  In recording mode the cluster checks
+    :attr:`over_capacity` at every round and logs a ledger violation
+    instead.
     """
 
-    __slots__ = ("machine_id", "kind", "capacity", "_store", "_sizes")
+    __slots__ = ("machine_id", "kind", "capacity", "strict", "_store", "_sizes")
 
-    def __init__(self, machine_id: int, kind: str, capacity: int) -> None:
+    def __init__(
+        self, machine_id: int, kind: str, capacity: int, strict: bool = False
+    ) -> None:
         self.machine_id = machine_id
         self.kind = kind
         self.capacity = capacity
+        self.strict = strict
         self._store: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
 
@@ -34,8 +47,17 @@ class Machine:
     # Dataset management
     # ------------------------------------------------------------------
     def put(self, name: str, value: Any) -> None:
+        size = word_size(value)
+        if self.strict:
+            usage = self.usage - self._sizes.get(name, 0) + size
+            if usage > self.capacity:
+                raise MemoryLimitExceeded(
+                    f"machine {self.machine_id} ({self.kind}): storing "
+                    f"{size} words in dataset {name!r} brings usage to "
+                    f"{usage} > memory capacity {self.capacity}"
+                )
         self._store[name] = value
-        self._sizes[name] = word_size(value)
+        self._sizes[name] = size
 
     def get(self, name: str, default: Any = None) -> Any:
         return self._store.get(name, default)
@@ -48,6 +70,12 @@ class Machine:
         """Recompute the cached size of *name* after in-place mutation."""
         if name in self._store:
             self._sizes[name] = word_size(self._store[name])
+            if self.strict and self.usage > self.capacity:
+                raise MemoryLimitExceeded(
+                    f"machine {self.machine_id} ({self.kind}): in-place "
+                    f"growth of dataset {name!r} brings usage to "
+                    f"{self.usage} > memory capacity {self.capacity}"
+                )
 
     def datasets(self) -> Iterator[str]:
         return iter(self._store)
@@ -62,6 +90,11 @@ class Machine:
     def usage(self) -> int:
         """Current memory usage in words (cached; see :meth:`touch`)."""
         return sum(self._sizes.values())
+
+    @property
+    def over_capacity(self) -> bool:
+        """Whether stored data currently exceeds the memory budget."""
+        return self.usage > self.capacity
 
     @property
     def is_large(self) -> bool:

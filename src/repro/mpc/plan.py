@@ -6,16 +6,22 @@ Algorithms accumulate traffic with :meth:`RoundPlan.send` /
 :meth:`RoundPlan.send_batch` and hand the plan to
 :meth:`repro.mpc.cluster.Cluster.execute`, which charges the round, sizes
 every batch in bulk (:func:`repro.mpc.words.word_size_many`) and fills the
-destination inboxes batch by batch.
+destination inboxes.
 
 Semantics are identical to the legacy per-message
 :meth:`~repro.mpc.cluster.Cluster.exchange` path: the words charged are the
-sum of the item word sizes, capacity checks see per-machine totals, and a
-plan always costs exactly one round.  The only observable difference is
-inbox ordering for callers that interleave sources: items arrive grouped by
-``(src, dst)`` pair, pairs in first-``send`` order, items within a pair in
-send order.  (Every in-repo producer already emits traffic source-major, so
-orderings coincide.)
+sum of the item word sizes, capacity checks see per-machine totals, a plan
+always costs exactly one round, and — since traffic is stored as
+per-destination *delivery runs* in send-call order — each inbox receives
+its items exactly as they were sent, even when sources interleave.  A plan
+whose batches are all empty moves no data and costs **zero** rounds
+(:meth:`Cluster.execute` treats it as a no-op).
+
+Storage: each payload is held once, in its delivery run.  Source-major
+producers (every bulk producer in this repo) create one run per
+``(src, dst)`` route, so sizing stays one bulk pass per route; the
+aggregated :meth:`batches` view is materialized on demand for inspection
+and the legacy flatteners.
 """
 
 from __future__ import annotations
@@ -30,40 +36,53 @@ Message = tuple[int, int, Any]
 
 
 class RoundPlan:
-    """Accumulates one round of traffic, grouped per ``(src, dst)`` pair."""
+    """Accumulates one round of traffic, grouped per ``(src, dst)`` pair.
 
-    __slots__ = ("note", "_batches")
+    ``_segments`` maps each destination to an ordered list of
+    ``[src, items]`` runs in send-call order — the single authoritative
+    store (payloads are never duplicated).  ``_routes`` tracks the
+    distinct ``(src, dst)`` pairs in first-send order with their queued
+    item counts, so route-level views need no scan.
+    """
+
+    __slots__ = ("note", "_segments", "_routes")
 
     def __init__(self, note: str = "") -> None:
         self.note = note
-        self._batches: dict[tuple[int, int], list[Any]] = {}
+        self._segments: dict[int, list[list[Any]]] = {}
+        self._routes: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Building
     # ------------------------------------------------------------------
+    def _append(self, src: int, dst: int, items: list[Any]) -> None:
+        """Queue *items* (a fresh list the plan takes ownership of)."""
+        runs = self._segments.get(dst)
+        if runs is None:
+            self._segments[dst] = [[src, items]]
+        elif runs[-1][0] == src:
+            runs[-1][1].extend(items)
+        else:
+            runs.append([src, items])
+        route = (src, dst)
+        self._routes[route] = self._routes.get(route, 0) + len(items)
+
     def send(self, src: int, dst: int, *items: Any) -> "RoundPlan":
         """Queue *items* from machine *src* to machine *dst*."""
         if items:
-            batch = self._batches.get((src, dst))
-            if batch is None:
-                self._batches[(src, dst)] = list(items)
-            else:
-                batch.extend(items)
+            self._append(src, dst, list(items))
         return self
 
     def send_batch(self, src: int, dst: int, items: Iterable[Any]) -> "RoundPlan":
         """Queue a whole batch of items from *src* to *dst*.
 
         The fast path of the engine: one route entry and one bulk sizing
-        pass regardless of how many items the batch holds.
+        pass regardless of how many items the batch holds.  The input is
+        copied once (callers may reuse their list); the plan owns the copy.
         """
-        batch = self._batches.get((src, dst))
-        if batch is None:
-            batch = list(items)
-            if batch:
-                self._batches[(src, dst)] = batch
-        else:
-            batch.extend(items)
+        batch = list(items)
+        if batch:
+            self._append(src, dst, batch)
         return self
 
     def extend(self, messages: Iterable[Message]) -> "RoundPlan":
@@ -77,27 +96,57 @@ class RoundPlan:
     # ------------------------------------------------------------------
     @property
     def is_empty(self) -> bool:
-        return not self._batches
+        return not self._routes
+
+    def runs(self) -> Iterator[tuple[int, int, list[Any]]]:
+        """Yield ``(src, dst, items)`` delivery runs in send-call order.
+
+        This is the engine's sizing/accounting view: word totals are
+        additive over runs, and source-major producers emit exactly one
+        run per route, so bulk sizing stays one pass per batch.
+        """
+        for dst, runs in self._segments.items():
+            for src, items in runs:
+                yield src, dst, items
 
     def batches(self) -> Iterator[tuple[int, int, list[Any]]]:
-        """Yield ``(src, dst, items)`` in first-send order."""
-        for (src, dst), items in self._batches.items():
+        """Yield ``(src, dst, items)`` aggregated per route, routes in
+        first-send order (materialized on demand)."""
+        grouped: dict[tuple[int, int], list[Any]] = {
+            route: [] for route in self._routes
+        }
+        for src, dst, items in self.runs():
+            grouped[(src, dst)].extend(items)
+        for (src, dst), items in grouped.items():
             yield src, dst, items
+
+    def deliveries(self) -> Iterator[tuple[int, list[Any]]]:
+        """Yield ``(dst, items)`` with items in exact send-call order.
+
+        This is the inbox-fill view: unlike :meth:`batches` it interleaves
+        sources the way the sends happened, so per-message and batched
+        producers observe identical inbox orderings.
+        """
+        for dst, runs in self._segments.items():
+            items: list[Any] = []
+            for _, run in runs:
+                items.extend(run)
+            yield dst, items
 
     def routes(self) -> int:
         """Number of distinct ``(src, dst)`` pairs with traffic."""
-        return len(self._batches)
+        return len(self._routes)
 
     def item_count(self) -> int:
         """Total number of logical items queued."""
-        return sum(len(items) for items in self._batches.values())
+        return sum(self._routes.values())
 
     def __len__(self) -> int:
         return self.item_count()
 
     def messages(self) -> Iterator[Message]:
         """Flatten back to legacy message tuples (debugging / tests)."""
-        for (src, dst), items in self._batches.items():
+        for src, dst, items in self.batches():
             for item in items:
                 yield src, dst, item
 

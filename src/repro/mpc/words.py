@@ -12,7 +12,10 @@ is charged according to :func:`word_size`:
   sketches and flow labels do this.
 
 Strings are charged one word per 8 characters (a word is at least 64 bits at
-any practical ``n``); they only appear in debugging payloads.
+any practical ``n``); they only appear in debugging payloads.  ``bytes`` /
+``bytearray`` payloads are charged the same way — one word per 8 bytes —
+so serialized blobs (sketch dumps, packed records) account like the
+equivalent text.
 
 :func:`word_size_many` is the bulk companion used by the batched round
 engine: it sizes a whole batch in one pass, with fast paths for the two
@@ -40,6 +43,8 @@ def word_size(obj: Any) -> int:
         return int(sizer())
     if isinstance(obj, str):
         return 1 + len(obj) // 8
+    if isinstance(obj, (bytes, bytearray)):
+        return 1 + len(obj) // 8
     if isinstance(obj, dict):
         return sum(word_size(k) + word_size(v) for k, v in obj.items())
     if isinstance(obj, (tuple, list, set, frozenset)):
@@ -48,6 +53,7 @@ def word_size(obj: Any) -> int:
 
 
 _SCALAR_TYPES = frozenset(_SCALARS)
+_BYTES_TYPES = frozenset((bytes, bytearray))
 
 
 def word_size_many(items: Iterable[Any]) -> int:
@@ -58,6 +64,8 @@ def word_size_many(items: Iterable[Any]) -> int:
 
     * every item exactly a scalar type → ``len(items)`` — counter and key
       batches;
+    * every item exactly ``bytes``/``bytearray`` → summed ``1 + len // 8``
+      without per-item dispatch — packed-blob batches;
     * every item exactly a ``tuple`` whose elements are all scalars →
       total element count — edge lists, the hottest batch shape in the
       repo.  Plain tuples cannot carry a custom ``word_size`` method, so
@@ -73,6 +81,8 @@ def word_size_many(items: Iterable[Any]) -> int:
     types = set(map(type, items))
     if types <= _SCALAR_TYPES:
         return len(items)
+    if types <= _BYTES_TYPES:
+        return sum(1 + len(blob) // 8 for blob in items)
     if types == {tuple}:
         flat = list(chain.from_iterable(items))
         if set(map(type, flat)) <= _SCALAR_TYPES:

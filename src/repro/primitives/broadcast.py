@@ -62,35 +62,68 @@ def converge_cast(
     *combine* (if given) is applied to each intermediate machine's buffer
     after every level — this is how aggregation keeps intermediate volumes
     bounded (Claim 2).  Returns the list of items that reach *dst*.
+
+    Memory honesty: every in-flight buffer is charged to the machine
+    holding it (a scratch dataset per cast), so the per-round memory check
+    sees the tree's intermediate state, and strict mode fails a cast whose
+    buffers outgrow a machine — exactly the condition Claim 2's per-level
+    combining is there to prevent.  The scratch is freed as buffers drain;
+    the combined result is the caller's to charge wherever it stores it.
     """
     fanout = cluster.config.tree_fanout
+    scratch = f"{note}#cast-buffer"
+    machines = cluster.machines
+
+    def charge(mid: int) -> None:
+        buffer = buffers.get(mid)
+        if buffer:
+            machines[mid].put(scratch, buffer)
+        else:
+            machines[mid].pop(scratch, None)
+
     buffers: dict[int, list[Any]] = {
         mid: list(items) for mid, items in items_by_machine.items() if items
     }
-    while True:
-        sources = sorted(mid for mid in buffers if mid != dst and buffers[mid])
-        if not sources:
-            break
-        if len(sources) <= fanout:
-            representatives = {mid: dst for mid in sources}
-        else:
-            representatives = {}
-            for position, mid in enumerate(sources):
-                group = position // fanout
-                representatives[mid] = sources[group] if sources[group] != mid else mid
-        plan = RoundPlan(note=f"{note}/level")
-        for mid in sources:
-            target = representatives[mid]
-            if target == mid:
-                continue
-            plan.send_batch(mid, target, buffers[mid])
-            buffers[mid] = []
-        inboxes = cluster.execute(plan)
-        for target, received in inboxes.items():
-            buffers.setdefault(target, []).extend(received)
-            if combine is not None and target != dst:
-                buffers[target] = combine(buffers[target])
-    result = buffers.get(dst, [])
-    if combine is not None:
-        result = combine(result)
+    try:
+        for mid in buffers:
+            charge(mid)
+        while True:
+            sources = sorted(mid for mid in buffers if mid != dst and buffers[mid])
+            if not sources:
+                break
+            if len(sources) <= fanout:
+                representatives = {mid: dst for mid in sources}
+            else:
+                representatives = {}
+                for position, mid in enumerate(sources):
+                    group = position // fanout
+                    representatives[mid] = sources[group] if sources[group] != mid else mid
+            plan = RoundPlan(note=f"{note}/level")
+            for mid in sources:
+                target = representatives[mid]
+                if target == mid:
+                    continue
+                plan.send_batch(mid, target, buffers[mid])
+                buffers[mid] = []
+                charge(mid)
+            inboxes = cluster.execute(plan)
+            for target, received in inboxes.items():
+                buffers.setdefault(target, []).extend(received)
+                if combine is not None and target != dst:
+                    buffers[target] = combine(buffers[target])
+                charge(target)
+        result = buffers.get(dst, [])
+        if combine is not None:
+            result = combine(result)
+        # Record the destination's post-combine peak (it may never see
+        # another round), then hand the buffer back to the caller.
+        buffers[dst] = result
+        charge(dst)
+        cluster.checkpoint_memory(f"{note}/result")
+    finally:
+        # Strict-mode aborts mid-tree must not leave scratch charged.
+        for mid in buffers:
+            machine = machines.get(mid)
+            if machine is not None:
+                machine.pop(scratch, None)
     return result

@@ -1,4 +1,4 @@
-"""Runner execution and the repro.bench/1 artifact schema round-trip."""
+"""Runner execution and the repro.bench/2 artifact schema round-trip."""
 
 import json
 
@@ -6,13 +6,16 @@ import pytest
 
 from repro.experiments import (
     ArtifactError,
+    ParallelRunner,
     Runner,
     SCHEMA_VERSION,
     Scenario,
     get_scenario,
     load_artifact,
     load_results_dir,
+    load_suite,
     validate_artifact,
+    validate_suite,
     write_artifact,
 )
 from repro.mpc import Cluster, ModelConfig
@@ -45,8 +48,12 @@ def test_runner_runs_sweep_and_appends_ledger_columns(tmp_path):
     runner = Runner(results_dir=tmp_path)
     run = runner.run(_toy_scenario())
     assert [row["x"] for row in run.rows] == [1, 2, 3]
-    assert all("words" in row and "wall_s" in row for row in run.rows)
-    assert run.columns == ("x", "doubled", "words", "wall_s")
+    assert all("words" in row and "max_memory" in row for row in run.rows)
+    assert run.columns == ("x", "doubled", "words", "max_memory")
+    # Totals roll up the per-point ledgers: 1+2+3 charged rounds.
+    assert run.totals["rounds"] == 6
+    assert run.totals["words"] == 0
+    assert run.totals["violations"] == 0
 
 
 def test_runner_quick_uses_quick_points_and_skips_checks(tmp_path):
@@ -135,6 +142,70 @@ def test_registered_scenario_quick_run_validates(tmp_path):
     assert artifact["graph_family"] == "grid"
     assert len(artifact["regimes"]) == 4
     json.dumps(artifact)  # fully JSON-serializable
+
+
+def test_suite_rollup_round_trip(tmp_path):
+    runner = Runner(results_dir=tmp_path)
+    runs = runner.run_many([_toy_scenario(), _toy_scenario(name="toy2")])
+    path = runner.persist_suite(runs)
+    assert path == tmp_path / "suite.json"
+    suite = load_suite(path)
+    assert [row["scenario"] for row in suite["scenarios"]] == ["toy", "toy2"]
+    assert suite["scenarios"][0]["rounds"] == 6
+    assert suite["quick"] is False
+    # suite.json is not picked up as a per-scenario artifact.
+    assert [a["scenario"] for a in load_results_dir(tmp_path)] == ["toy", "toy2"]
+
+
+def test_validate_suite_rejects_bad_rows():
+    with pytest.raises(ArtifactError, match="schema"):
+        validate_suite({"schema": "nope", "quick": False, "scenarios": []})
+    with pytest.raises(ArtifactError, match="rounds"):
+        validate_suite({
+            "schema": "repro.bench.suite/1", "quick": False,
+            "scenarios": [{"scenario": "x", "group": "table1", "points": 1}],
+        })
+    with pytest.raises(ArtifactError, match="points"):
+        validate_suite({
+            "schema": "repro.bench.suite/1", "quick": False,
+            "scenarios": [{
+                "scenario": "x", "group": "table1", "points": True,
+                "rounds": 0, "words": 0, "max_memory": 0, "violations": 0,
+            }],
+        })
+
+
+def test_validate_rejects_missing_totals_key():
+    artifact = Runner().run(_toy_scenario()).to_artifact()
+    del artifact["totals"]["max_memory"]
+    with pytest.raises(ArtifactError, match="max_memory"):
+        validate_artifact(artifact)
+
+
+def test_parallel_runner_artifacts_are_byte_identical_to_serial(tmp_path):
+    """The acceptance contract of `bench --jobs N`: same bytes as serial.
+
+    Uses registry scenarios (pool workers re-resolve scenarios by name, so
+    unregistered toys cannot cross the process boundary).
+    """
+    names = ["ablation_kkt_sampling", "cycle_problem"]
+    scenarios = [get_scenario(name) for name in names]
+
+    serial_dir = tmp_path / "serial"
+    serial = Runner(results_dir=serial_dir, seed=0)
+    serial.persist_suite(serial.run_many(scenarios, quick=True))
+
+    parallel_dir = tmp_path / "parallel"
+    parallel = ParallelRunner(results_dir=parallel_dir, seed=0, jobs=2)
+    parallel.persist_suite(parallel.run_many(scenarios, quick=True))
+
+    serial_files = sorted(p.name for p in serial_dir.iterdir())
+    assert serial_files == sorted(p.name for p in parallel_dir.iterdir())
+    assert "suite.json" in serial_files
+    for name in serial_files:
+        assert (serial_dir / name).read_bytes() == (
+            parallel_dir / name
+        ).read_bytes(), f"{name} differs between serial and parallel runs"
 
 
 def test_point_rng_is_deterministic():

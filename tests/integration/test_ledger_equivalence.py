@@ -16,18 +16,26 @@ from repro.mpc import Cluster, ModelConfig
 from repro.primitives.sort import sample_sort
 
 # Captured at the seed revision (per-message Cluster.exchange), commit
-# 9932a36, with the exact inputs constructed below.
+# 9932a36, with the exact inputs constructed below; re-pinned for the two
+# intentional accounting bugfixes of PR 4:
+#
+# * empty RoundPlans no longer burn a 0-word ledger round (MST: 78 -> 74
+#   rounds; every word, volume, and violation is unchanged);
+# * `distribute_edges` shuffles with a dedicated placement RNG derived
+#   from the cluster seed instead of the shared `self.rng` (the sort
+#   fixture places its items differently, shifting the sampled splitter
+#   set by a few words; the MST fixture is placement-identical).
 MST_GOLDEN = {
-    "rounds": 78,
+    "rounds": 74,
     "total_words": 230358,
     "violation_count": 72,
     "violation_hash": "6edd8b4486c73225",
 }
 SORT_GOLDEN = {
     "rounds": 6,
-    "total_words": 11260,
+    "total_words": 11256,
     "violation_count": 0,
-    "counts_hash": "fffa72e7174a2bff",
+    "counts_hash": "8a4e8db6b4e25cc4",
 }
 
 

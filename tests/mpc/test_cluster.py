@@ -7,6 +7,7 @@ import pytest
 from repro.mpc import (
     Cluster,
     CommunicationLimitExceeded,
+    MemoryLimitExceeded,
     ModelConfig,
     ProtocolError,
 )
@@ -123,3 +124,91 @@ def test_memory_high_water_is_recorded_after_rounds():
     cluster.distribute_edges([(1, 2)] * 10, name="e")
     cluster.exchange([(0, 1, "ping")])
     assert max(cluster.ledger.memory_high_water.values()) > 0
+
+
+# ----------------------------------------------------------------------
+# Memory honesty
+# ----------------------------------------------------------------------
+def test_strict_mode_raises_when_small_machine_exceeds_small_capacity():
+    """The model's second budget: a small machine hoarding more than
+    ``small_capacity`` words must trip strict mode."""
+    config = ModelConfig.heterogeneous(n=64, m=256, strict=True)
+    cluster = Cluster(config, rng=random.Random(0))
+    small = cluster.smalls[0]
+    with pytest.raises(MemoryLimitExceeded):
+        small.put("hoard", [0] * (config.small_capacity + 1))
+
+
+def test_strict_mode_raises_at_round_if_memory_exceeded():
+    """Even state smuggled past ``put`` (in-place growth without touch) is
+    caught by the per-round memory check of ``execute``."""
+    cluster = make_cluster(strict=True)
+    small = cluster.smalls[0]
+    blob = [0] * (small.capacity + 1)
+    small._store["hoard"] = blob  # bypass put() on purpose
+    small._sizes["hoard"] = len(blob)
+    with pytest.raises(MemoryLimitExceeded):
+        cluster.exchange([(1, 2, "ping")])
+    assert cluster.ledger.rounds == 0  # raised before the round was recorded
+
+
+def test_nonstrict_mode_records_memory_violation_per_round():
+    cluster = make_cluster(strict=False)
+    small = cluster.smalls[0]
+    small.put("hoard", [0] * (small.capacity + 5))
+    cluster.exchange([(1, 2, "ping")], note="r1")
+    cluster.exchange([(1, 2, "ping")], note="r2")
+    memory_violations = [
+        v for v in cluster.ledger.violations if "memory capacity" in v
+    ]
+    # Recorded once per round while the hoard persists, mirroring the
+    # communication violations.
+    assert len(memory_violations) == 2
+    assert f"machine {small.machine_id} holds" in memory_violations[0]
+    assert memory_violations[0] in cluster.ledger.records[0].violations
+    assert cluster.ledger.summary()["violations"] == 2
+    # Freeing the scratch state clears the signal.
+    small.pop("hoard")
+    cluster.exchange([(1, 2, "ping")], note="r3")
+    assert len(cluster.ledger.records[2].violations) == 0
+
+
+def test_oversized_input_placement_is_recorded():
+    config = ModelConfig.heterogeneous(n=64, m=256)
+    cluster = Cluster(config, rng=random.Random(1))
+    per_machine = config.small_capacity + 8
+    edges = [(0, 1)] * ((per_machine // 2) * config.num_small)
+    cluster.distribute_edges(edges, name="e")
+    assert any("memory capacity" in v for v in cluster.ledger.violations)
+
+
+# ----------------------------------------------------------------------
+# Placement stability
+# ----------------------------------------------------------------------
+def test_distribute_edges_placement_is_stable_against_rng_use():
+    """Regression: the shuffle used to draw from the shared ``self.rng``,
+    so any unrelated earlier RNG use shifted input placement."""
+    edges = [(i, i + 1) for i in range(40)]
+
+    def placement(burn_draws: int) -> list[list]:
+        cluster = Cluster(ModelConfig.heterogeneous(n=64, m=256),
+                          rng=random.Random(42))
+        for _ in range(burn_draws):
+            cluster.rng.random()  # unrelated earlier RNG use
+        cluster.distribute_edges(edges, name="e")
+        return [m.get("e", []) for m in cluster.smalls]
+
+    assert placement(0) == placement(1) == placement(17)
+
+
+def test_distribute_edges_placement_depends_on_cluster_seed():
+    edges = [(i, i + 1) for i in range(40)]
+
+    def placement(seed: int) -> list[list]:
+        cluster = Cluster(ModelConfig.heterogeneous(n=64, m=256),
+                          rng=random.Random(seed))
+        cluster.distribute_edges(edges, name="e")
+        return [m.get("e", []) for m in cluster.smalls]
+
+    assert placement(1) != placement(2)  # still randomized across seeds
+    assert placement(3) == placement(3)  # and reproducible per seed

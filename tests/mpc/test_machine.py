@@ -1,6 +1,8 @@
 """Machine dataset management and usage tracking."""
 
-from repro.mpc import LARGE, SMALL, Machine
+import pytest
+
+from repro.mpc import LARGE, SMALL, Machine, MemoryLimitExceeded
 
 
 def test_put_get_roundtrip():
@@ -49,6 +51,41 @@ def test_contains_and_datasets():
     assert "x" in machine
     assert "y" not in machine
     assert list(machine.datasets()) == ["x"]
+
+
+def test_over_capacity_flag():
+    machine = Machine(0, SMALL, capacity=3)
+    machine.put("a", [1, 2, 3])
+    assert not machine.over_capacity
+    machine.put("b", [4])
+    assert machine.over_capacity
+
+
+def test_strict_put_raises_memory_limit():
+    machine = Machine(0, SMALL, capacity=3, strict=True)
+    machine.put("a", [1, 2, 3])  # exactly at capacity is fine
+    with pytest.raises(MemoryLimitExceeded):
+        machine.put("b", [4])
+    assert "b" not in machine  # the hoard was rejected, not stored
+    # Replacing a dataset within budget still works.
+    machine.put("a", [1])
+    machine.put("b", [2, 3])
+
+
+def test_strict_touch_raises_on_inplace_growth():
+    machine = Machine(0, SMALL, capacity=3, strict=True)
+    data = [1, 2, 3]
+    machine.put("a", data)
+    data.append(4)
+    with pytest.raises(MemoryLimitExceeded):
+        machine.touch("a")
+
+
+def test_nonstrict_machine_stores_past_capacity():
+    machine = Machine(0, SMALL, capacity=2)
+    machine.put("a", [1, 2, 3])  # recording mode: allowed, flagged
+    assert machine.usage == 3
+    assert machine.over_capacity
 
 
 def test_kind_flags():

@@ -3,6 +3,8 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.mpc import (
     Cluster,
@@ -136,11 +138,69 @@ def test_execute_strict_raises_before_recording():
     assert cluster.ledger.rounds == 0
 
 
-def test_empty_plan_still_costs_a_round():
+def test_empty_plan_is_a_noop():
+    """Regression: a plan that moves no data must not burn a ledger round.
+
+    (An empty ``exchange([])`` / all-empty-batches plan used to charge a
+    0-word round.)
+    """
     cluster = make_cluster()
-    cluster.execute(RoundPlan(note="sync"))
+    assert cluster.execute(RoundPlan(note="sync")) == {}
+    assert cluster.exchange([]) == {}
+    plan = RoundPlan(note="hollow")
+    plan.send(0, 1)
+    plan.send_batch(2, 3, [])
+    assert cluster.execute(plan) == {}
+    assert cluster.ledger.rounds == 0
+    assert cluster.ledger.records == []
+    # Explicitly charged synchronization rounds remain available.
+    cluster.ledger.charge(1, note="sync")
     assert cluster.ledger.rounds == 1
-    assert cluster.ledger.records[-1].total_words == 0
+
+
+def test_interleaved_sources_preserve_send_order():
+    """Non-source-major traffic: inboxes arrive in exact send-call order,
+    matching the historical per-message engine."""
+    cluster = make_cluster()
+    messages = [(0, 5, "a"), (1, 5, "b"), (0, 5, "c"), (2, 6, "d"), (0, 6, "e")]
+    inboxes = cluster.exchange(list(messages), note="i")
+    assert inboxes[5] == ["a", "b", "c"]
+    assert inboxes[6] == ["d", "e"]
+
+
+@given(
+    messages=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),   # src
+            st.integers(min_value=0, max_value=5),   # dst
+            st.integers(min_value=-100, max_value=100),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_execute_and_exchange_match_per_message_inbox_order(messages):
+    """Property: for arbitrary (non-source-major) message lists, the
+    batched ``execute`` path and the ``exchange`` wrapper both deliver the
+    exact inbox ordering of the historical per-message engine (payloads
+    appended in message-list order)."""
+    expected: dict[int, list] = {}
+    for _, dst, payload in messages:
+        expected.setdefault(dst, []).append(payload)
+
+    via_exchange = make_cluster()
+    assert via_exchange.exchange(list(messages), note="p") == expected
+
+    via_plan = make_cluster()
+    plan = RoundPlan(note="p")
+    for src, dst, payload in messages:
+        plan.send(src, dst, payload)
+    assert via_plan.execute(plan) == expected
+
+    records = via_exchange.ledger.records
+    assert [r.total_words for r in records] == [
+        r.total_words for r in via_plan.ledger.records
+    ]
 
 
 def test_execute_records_note_stats():

@@ -51,6 +51,16 @@ def test_strings_are_charged_per_eight_chars():
     assert word_size("a" * 17) == 3
 
 
+def test_bytes_are_charged_per_eight_bytes():
+    """Regression: bytes/bytearray payloads used to raise TypeError."""
+    assert word_size(b"") == 1
+    assert word_size(b"a" * 8) == 2
+    assert word_size(b"a" * 17) == 3  # non-multiple-of-8 length
+    assert word_size(bytearray()) == 1
+    assert word_size(bytearray(b"a" * 11)) == 2
+    assert word_size([b"ab", bytearray(b"c")]) == 2
+
+
 def test_unknown_types_raise():
     with pytest.raises(TypeError):
         word_size(object())
@@ -114,6 +124,15 @@ def test_word_size_many_dicts_and_objects():
 
 def test_word_size_many_strings_per_eight_chars():
     assert word_size_many(["", "a" * 8, "a" * 17]) == 1 + 2 + 3
+
+
+def test_word_size_many_bytes_fast_path():
+    assert word_size_many([b"", bytearray()]) == 2
+    assert word_size_many([b"a" * 8, bytearray(b"b" * 17)]) == 2 + 3
+    assert word_size_many([b"abc"]) == word_size(b"abc")
+    # Mixed with non-bytes items: falls back to the per-item sizer.
+    assert word_size_many([b"a" * 9, 1]) == 2 + 1
+    assert word_size_many([(b"ab", 1)]) == 2
 
 
 def test_word_size_many_namedtuple_with_custom_sizer_skips_fast_path():

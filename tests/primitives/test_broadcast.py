@@ -73,3 +73,35 @@ def test_converge_cast_items_already_at_destination():
     dst = cluster.large.machine_id
     result = converge_cast(cluster, {dst: ["keep"], 0: ["move"]}, dst)
     assert sorted(result) == ["keep", "move"]
+
+
+def test_converge_cast_charges_buffers_to_machines():
+    """Memory honesty: in-flight cast buffers count as machine memory, so
+    the ledger's high-water marks see the tree's intermediate state."""
+    cluster = make_cluster()
+    items = {mid: [(mid, mid)] for mid in cluster.small_ids}
+    before = dict(cluster.ledger.memory_high_water)
+    converge_cast(cluster, items, cluster.large.machine_id, note="mem")
+    high_water = cluster.ledger.memory_high_water
+    assert high_water.get(cluster.large.machine_id, 0) >= 2 * len(cluster.smalls)
+    assert high_water != before
+    # The scratch is freed on completion: no machine keeps a cast buffer.
+    for machine in cluster.machines.values():
+        assert not any("#cast-buffer" in name for name in machine.datasets())
+
+
+def test_converge_cast_abort_leaves_no_scratch_charged():
+    """Regression: an exception mid-cast (strict-mode limit, failing
+    combine) must not leave `#cast-buffer` scratch datasets behind."""
+    cluster = make_cluster()
+    items = {mid: [1, 1] for mid in cluster.small_ids}
+
+    def exploding(buffer):
+        raise RuntimeError("combine failed")
+
+    with pytest.raises(RuntimeError):
+        converge_cast(
+            cluster, items, cluster.large.machine_id, combine=exploding
+        )
+    for machine in cluster.machines.values():
+        assert not any("#cast-buffer" in name for name in machine.datasets())

@@ -120,7 +120,37 @@ def test_bench_quick_smoke_writes_schema_valid_artifacts(capsys, tmp_path):
         "heterogeneous", "sublinear", "near_linear", "superlinear",
     }
     text = (tmp_path / "ablation_kkt_sampling.txt").read_text()
-    assert text.startswith("# schema: repro.bench/1")
+    assert text.startswith("# schema: repro.bench/2")
+
+
+def test_bench_jobs_matches_serial_bytes(capsys, tmp_path):
+    """--jobs N is wired to the ParallelRunner and reproduces the serial
+    artifacts byte for byte."""
+    args = ["bench", "ablation_kkt_sampling", "cycle_problem",
+            "--quick", "--json"]
+    run(capsys, args + ["--out", str(tmp_path / "serial")])
+    out = run(capsys, args + ["--jobs", "2", "--out", str(tmp_path / "par")])
+    assert "wrote 2 scenario artifact(s)" in out
+    for path in sorted((tmp_path / "serial").iterdir()):
+        assert path.read_bytes() == (tmp_path / "par" / path.name).read_bytes()
+
+
+def test_bench_all_writes_suite_rollup(capsys, tmp_path, monkeypatch):
+    """`bench all --json` maintains suite.json; subsets leave it alone."""
+    from repro import experiments
+
+    # Shrink "all" to two scenarios so the smoke test stays fast.
+    names = ["ablation_kkt_sampling", "cycle_problem"]
+    monkeypatch.setattr(
+        experiments, "all_scenarios",
+        lambda: [experiments.get_scenario(n) for n in names],
+    )
+    out = run(capsys, ["bench", "all", "--quick", "--json",
+                       "--out", str(tmp_path)])
+    assert "suite roll-up" in out
+    suite = experiments.load_suite(tmp_path / "suite.json")
+    assert [row["scenario"] for row in suite["scenarios"]] == sorted(names)
+    assert suite["quick"] is True
 
 
 def test_report_generates_and_checks(capsys, tmp_path):
