@@ -17,6 +17,7 @@ artifacts).
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import Any, Sequence
@@ -26,6 +27,14 @@ from repro.experiments import Runner, ScenarioRun, get_scenario
 from repro.experiments.artifacts import text_header
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-performance artifacts (items/s trajectories) live in their own
+#: subdirectory with their own schema: they are measurements of *this*
+#: machine, not of the model, so they are excluded from the byte-stable
+#: ``repro.bench/2`` artifact set that `repro report --check` validates.
+PERF_DIR = RESULTS_DIR / "perf"
+
+PERF_SCHEMA_VERSION = "repro.perf/1"
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -50,6 +59,39 @@ def publish(
             text_header(experiment) + text
         )
     return text
+
+
+def publish_perf(
+    benchmark_name: str,
+    rows: Sequence[dict[str, Any]],
+    params: dict[str, Any] | None = None,
+    persist: bool = True,
+) -> dict[str, Any]:
+    """Persist one ``repro.perf/1`` throughput artifact.
+
+    Schema (one JSON object per benchmark, ``results/perf/<name>.json``)::
+
+        {"schema": "repro.perf/1",
+         "benchmark": "engine_throughput",     # artifact name
+         "params":    {"items": 100000, ...},  # workload sizing knobs
+         "rows":      [{"engine": ..., "items_per_sec": ..., ...}, ...]}
+
+    Rows hold only JSON scalars.  Unlike ``repro.bench/2`` artifacts these
+    are *not* byte-deterministic (items/s measures this machine); the
+    committed files record the perf trajectory across PRs, one entry per
+    engine generation.
+    """
+    obj = {
+        "schema": PERF_SCHEMA_VERSION,
+        "benchmark": benchmark_name,
+        "params": dict(params or {}),
+        "rows": [dict(row) for row in rows],
+    }
+    if persist:
+        PERF_DIR.mkdir(parents=True, exist_ok=True)
+        path = PERF_DIR / f"{benchmark_name}.json"
+        path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
+    return obj
 
 
 def run_scenario_benchmark(benchmark, name: str) -> ScenarioRun:

@@ -43,7 +43,7 @@ from these artifacts by ``python -m repro report``.
 ``suite.json`` (schema ``repro.bench.suite/1``) is the cross-scenario
 roll-up written by ``python -m repro bench all``: one row per scenario
 with its ``totals``, so dashboards and CI can watch the whole matrix
-without parsing 21 files.
+without parsing one file per scenario.
 """
 
 from __future__ import annotations

@@ -901,14 +901,16 @@ def _check_workload(rows) -> None:
 _WORKLOAD_COLUMNS = ("regime", "n", "m", "max_degree", "components", "rounds")
 
 
-def _register_workload(name: str, family: str, title: str, build) -> None:
+def _register_workload(
+    name: str, family: str, title: str, build, group: str = "workload"
+) -> None:
     def measure(regime: str, rng: random.Random, quick: bool) -> dict:
         return _workload_point(build(rng, quick), regime, rng)
 
     _register(Scenario(
         name=name,
         title=title,
-        group="workload",
+        group=group,
         problem="connectivity",
         graph_family=family,
         regimes=_WORKLOAD_REGIMES,
@@ -963,4 +965,180 @@ _register_workload(
     lambda rng, quick: generators.near_clique_graph(
         32 if quick else 48, 20, random.Random(19)
     ),
+)
+
+
+# ----------------------------------------------------------------------
+# Large-n regime: the columnar round engine makes sweeps 10-50x the
+# classic sizes affordable, where the heterogeneous curves visibly
+# separate from the sublinear baselines.
+# ----------------------------------------------------------------------
+
+def _check_large_connectivity(rows) -> None:
+    het_rounds = [row["het_rounds"] for row in rows]
+    assert max(het_rounds) <= 8  # O(1) stays flat across a 4x n sweep
+    # At large n the sublinear Boruvka baseline is far above the constant.
+    assert all(row["sub_rounds"] > max(het_rounds) for row in rows)
+
+
+_register(Scenario(
+    name="table1_connectivity_large",
+    title="Large-n / connectivity: O(1) heterogeneous vs ~log n sublinear "
+          "at 10-50x classic sweep sizes",
+    group="large",
+    problem="connectivity",
+    graph_family="planted_components",
+    regimes=("heterogeneous", "sublinear"),
+    axis="n",
+    points=(320, 640, 1280),
+    quick_points=(160, 320),
+    measure=_measure_table1_connectivity,
+    columns=("n", "m", "het_rounds", "sub_rounds", "theory_het", "theory_sub"),
+    check=_check_large_connectivity,
+    paper_ref="Theorem C.1 vs [11], large-n regime",
+))
+
+
+def _measure_large_mst(ratio: int, rng: random.Random, quick: bool) -> dict:
+    n = 320 if quick else 960
+    local = random.Random(ratio)
+    m = min(n * (n - 1) // 2, n * ratio)
+    graph = generators.random_connected_graph(n, m, local).with_unique_weights(local)
+    het = heterogeneous_mst(graph, rng=random.Random(ratio + 1))
+    assert verify_mst(graph, het.edges)
+    sub = sublinear_boruvka_mst(graph, rng=random.Random(ratio + 2))
+    assert verify_mst(graph, sub.edges)
+    return {
+        "m/n": ratio,
+        "het_steps": het.boruvka_steps,
+        "het_rounds": het.rounds,
+        "sub_iters": sub.iterations,
+        "sub_rounds": sub.rounds,
+        "theory_het~loglog(m/n)": predicted_rounds("mst", "heterogeneous", n=n, m=m),
+        "theory_sub~log(n)": predicted_rounds("mst", "sublinear", n=n, m=m),
+        "_ledgers": {"het": het.cluster.ledger, "sub": sub.cluster.ledger},
+    }
+
+
+def _check_large_mst(rows) -> None:
+    steps = [row["het_steps"] for row in rows]
+    assert steps == sorted(steps)  # the log log curve survives scale
+    assert steps[-1] <= 5
+    # Borůvka phase structure: O(log log(m/n)) heterogeneous steps stay
+    # below the sublinear baseline's ~log n iterations at every density.
+    assert all(row["sub_iters"] > row["het_steps"] for row in rows)
+    assert all(row["sub_rounds"] > 0 for row in rows)
+
+
+_register(Scenario(
+    name="table1_mst_large",
+    title="Large-n / MST: O(log log(m/n)) heterogeneous vs O(log n) "
+          "sublinear at n=960",
+    group="large",
+    problem="mst",
+    graph_family="random_connected",
+    regimes=("heterogeneous", "sublinear"),
+    axis="m/n",
+    points=(2, 8, 32),
+    quick_points=(2, 8),
+    measure=_measure_large_mst,
+    columns=("m/n", "het_steps", "het_rounds", "sub_iters", "sub_rounds",
+             "theory_het~loglog(m/n)", "theory_sub~log(n)"),
+    check=_check_large_mst,
+    paper_ref="Theorem 1.2 / Theorem 3.1, large-n regime",
+))
+
+
+def _measure_large_matching(density: int, rng: random.Random, quick: bool) -> dict:
+    n = 320 if quick else 800
+    local = random.Random(density)
+    m = min(n * (n - 1) // 2, n * density)
+    graph = generators.random_connected_graph(n, m, local)
+    het = heterogeneous_matching(graph, rng=random.Random(density + 1))
+    assert is_maximal_matching(graph, het.matching)
+    sub = sublinear_matching(graph, rng=random.Random(density + 2))
+    assert is_maximal_matching(graph, sub.matching)
+    return {
+        "avg_degree": round(graph.average_degree, 1),
+        "het_rounds": het.rounds,
+        "phase1_iters": het.phase1_iterations,
+        "gu_charge": round(low_degree_phase_rounds(graph.max_degree), 1),
+        "sub_rounds": sub.rounds,
+        "theory_het~sqrt": predicted_rounds("matching", "heterogeneous", n=n, m=m),
+        "_ledgers": {"het": het.cluster.ledger, "sub": sub.cluster.ledger},
+    }
+
+
+def _check_large_matching(rows) -> None:
+    het = [row["het_rounds"] for row in rows]
+    assert het[-1] <= 3 * het[0]  # sqrt-log growth, never linear
+
+
+_register(Scenario(
+    name="table1_matching_large",
+    title="Large-n / maximal matching: O(sqrt(log d log log d)) "
+          "heterogeneous at n=800",
+    group="large",
+    problem="matching",
+    graph_family="random_connected",
+    regimes=("heterogeneous", "sublinear"),
+    axis="m/n",
+    points=(2, 8, 24),
+    quick_points=(2, 8),
+    measure=_measure_large_matching,
+    columns=("avg_degree", "het_rounds", "phase1_iters", "gu_charge",
+             "sub_rounds", "theory_het~sqrt"),
+    check=_check_large_matching,
+    paper_ref="Theorem 5.1, large-n regime",
+))
+
+
+_register_workload(
+    "workload_power_law_large",
+    "power_law",
+    "Large-n workload / power-law (Chung-Lu) graphs across regimes",
+    lambda rng, quick: generators.power_law_graph(
+        320 if quick else 1280, random.Random(107), exponent=2.5, avg_degree=4.0
+    ),
+    group="large",
+)
+
+_register_workload(
+    "workload_grid_large",
+    "grid",
+    "Large-n workload / 2D torus grid across regimes",
+    lambda rng, quick: generators.torus_graph(*( (12, 16) if quick else (30, 40) )),
+    group="large",
+)
+
+_register_workload(
+    "workload_community_large",
+    "planted_community",
+    "Large-n workload / planted-community graphs across regimes",
+    lambda rng, quick: generators.planted_community_graph(
+        *( (240, 6, 0.1, 12) if quick else (1200, 12, 0.04, 40) ),
+        random.Random(111)
+    ),
+    group="large",
+)
+
+_register_workload(
+    "workload_multi_component_large",
+    "multi_component",
+    "Large-n workload / disconnected multi-component graphs across regimes",
+    lambda rng, quick: generators.multi_component_graph(
+        *( (240, 5) if quick else (1200, 8) ), 4.0, random.Random(113)
+    ),
+    group="large",
+)
+
+_register_workload(
+    "workload_near_clique_large",
+    "near_clique",
+    "Large-n workload / dense near-clique graphs across regimes "
+    "(~25x the classic edge count)",
+    lambda rng, quick: generators.near_clique_graph(
+        64 if quick else 160, 40, random.Random(119)
+    ),
+    group="large",
 )

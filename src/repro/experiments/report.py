@@ -35,6 +35,7 @@ _GROUP_HEADINGS = {
     "theorem": "Per-theorem experiments",
     "ablation": "Ablations",
     "workload": "Workload matrix",
+    "large": "Large-n regime",
 }
 
 

@@ -14,13 +14,18 @@ respectively.  (Local computation between rounds is free, exactly as in
 the model — but the state it leaves behind is not: scratch datasets count
 against memory until they are explicitly freed with ``Machine.pop``.)
 
-Rounds are executed by the *batched round engine*: algorithms build a
-:class:`~repro.mpc.plan.RoundPlan` (traffic grouped per ``(src, dst)``
-pair) and hand it to :meth:`Cluster.execute`, which sizes each batch in one
-bulk pass, enforces capacities, and fills inboxes batch by batch.  The
-legacy per-message :meth:`Cluster.exchange` is kept as a thin wrapper that
-builds a plan from ``(src, dst, payload)`` tuples, so existing callers keep
-working and both paths charge identical rounds/words.
+Rounds are executed by the *columnar round engine*: algorithms build a
+:class:`~repro.mpc.plan.RoundPlan` (traffic stored as per-``(src, dst)``
+runs in flat parallel arrays) and hand it to :meth:`Cluster.execute`,
+which sizes each run once (cached on the plan), routes the whole plan in
+a single grouped accounting pass, enforces capacities, and fills inboxes
+run by run.  The legacy per-message :meth:`Cluster.exchange` is a pure
+delegate that builds a plan from ``(src, dst, payload)`` tuples and calls
+:meth:`execute` — there is no second delivery path, so the two cannot
+drift.  Columnar producers use :meth:`RoundPlan.send_indexed`, whose
+grouping runs on the engine backend seam (:mod:`repro.mpc.backend`,
+pure-Python default with an optional numpy backend; ledgers are
+bit-identical across backends by construction).
 """
 
 from __future__ import annotations
@@ -29,12 +34,12 @@ import random
 import time
 from typing import Any, Callable, Iterable, Sequence
 
+from .backend import get_engine_backend
 from .config import ModelConfig
 from .errors import CommunicationLimitExceeded, MemoryLimitExceeded, ProtocolError
 from .ledger import RoundLedger
 from .machine import LARGE, SMALL, Machine
 from .plan import Message, RoundPlan
-from .words import word_size_many
 
 __all__ = ["Cluster", "Message"]
 
@@ -42,9 +47,17 @@ __all__ = ["Cluster", "Message"]
 class Cluster:
     """A heterogeneous MPC cluster built from a :class:`ModelConfig`."""
 
-    def __init__(self, config: ModelConfig, rng: random.Random | None = None) -> None:
+    def __init__(
+        self,
+        config: ModelConfig,
+        rng: random.Random | None = None,
+        backend: object = None,
+    ) -> None:
         self.config = config
         self.rng = rng if rng is not None else random.Random(0)
+        #: Engine backend for columnar grouping (``repro.mpc.backend``);
+        #: accounting is bit-identical across backends.
+        self.engine_backend = get_engine_backend(backend)
         # Input placement draws from a dedicated stream derived from the
         # cluster seed (the rng's initial state), so adding an unrelated
         # self.rng use later can never shift where the input lands.
@@ -93,15 +106,21 @@ class Cluster:
     # ------------------------------------------------------------------
     # The synchronous round
     # ------------------------------------------------------------------
+    def plan(self, note: str = "") -> RoundPlan:
+        """A fresh :class:`RoundPlan` wired to this cluster's engine
+        backend (so ``send_indexed`` scatters group on the same seam)."""
+        return RoundPlan(note=note, backend=self.engine_backend)
+
     def execute(self, plan: RoundPlan) -> dict[int, list[Any]]:
         """Run *plan* as one synchronous round.
 
-        Each ``(src, dst)`` batch is sized in one bulk pass; inboxes are
-        filled in exact send-call order (``plan.deliveries()``), and
-        send/receive volumes are charged against each machine's capacity.
-        Memory usage is checked against each machine's capacity as part of
-        the round.  In strict mode a violation raises
-        :class:`CommunicationLimitExceeded` (traffic) or
+        The single grouped pass: per-run word totals come from the plan's
+        :meth:`~repro.mpc.plan.RoundPlan.run_words` cache (each run sized
+        exactly once), per-machine send/receive volumes are accumulated
+        over the run columns, and inboxes are filled in exact send-call
+        order (``plan.deliveries()``).  Memory usage is checked against
+        each machine's capacity as part of the round.  In strict mode a
+        violation raises :class:`CommunicationLimitExceeded` (traffic) or
         :class:`MemoryLimitExceeded` (stored state) before the round is
         recorded, otherwise it is recorded in the ledger.  An empty plan
         is a no-op: no data moves, so no round is charged.  Returns the
@@ -110,19 +129,20 @@ class Cluster:
         if plan.is_empty:
             return {}
         start = time.perf_counter()
+        run_srcs, run_dsts, run_lens, run_words = plan.run_meta()
+
+        unknown = set(run_srcs).union(run_dsts).difference(self.machines)
+        if unknown:
+            raise ProtocolError(
+                f"message involves unknown machine(s) {sorted(unknown)}"
+            )
         sent: dict[int, int] = {}
         received: dict[int, int] = {}
-        total = 0
-        items = 0
-
-        for src, dst, run in plan.runs():
-            if src not in self.machines or dst not in self.machines:
-                raise ProtocolError(f"message between unknown machines {src}->{dst}")
-            words = word_size_many(run)
-            total += words
-            items += len(run)
+        for src, dst, words in zip(run_srcs, run_dsts, run_words):
             sent[src] = sent.get(src, 0) + words
             received[dst] = received.get(dst, 0) + words
+        total = sum(run_words)
+        items = sum(run_lens)
         inboxes = {dst: items_ for dst, items_ in plan.deliveries()}
 
         note = plan.note
@@ -162,13 +182,15 @@ class Cluster:
     ) -> dict[int, list[Any]]:
         """Deliver per-item *messages* in one synchronous round.
 
-        Compatibility wrapper over :meth:`execute`: the messages are
-        grouped into a :class:`RoundPlan` and run through the batched
-        engine.  Rounds, words, violations, and inbox orderings are
-        identical to the historical per-message accounting — the plan's
-        delivery segments preserve send order even for interleaved
-        (non-source-major) message lists.  An empty message list costs no
-        round.
+        A **pure delegate** of :meth:`execute`: the messages are absorbed
+        into a :class:`RoundPlan` and handed straight to the columnar
+        engine — ``exchange`` owns no delivery or accounting logic of its
+        own, so the two paths cannot drift (there is a differential
+        property test pinning this).  Rounds, words, violations, and
+        inbox orderings are identical to the historical per-message
+        accounting — the plan's run ordering preserves send order even
+        for interleaved (non-source-major) message lists.  An empty
+        message list costs no round.
         """
         return self.execute(RoundPlan(note=note).extend(messages))
 

@@ -17,17 +17,27 @@ any practical ``n``); they only appear in debugging payloads.  ``bytes`` /
 so serialized blobs (sketch dumps, packed records) account like the
 equivalent text.
 
-:func:`word_size_many` is the bulk companion used by the batched round
+:func:`word_size_many` is the bulk companion used by the columnar round
 engine: it sizes a whole batch in one pass, with fast paths for the two
 batch shapes that dominate real traffic — homogeneous scalar batches and
 flat tuples of scalars (edge lists).  It is semantically identical to
 summing :func:`word_size` over the batch.
+
+Numeric numpy arrays (when numpy is installed) are charged one word per
+element — a ``(k, 3)`` int block costs exactly what the equivalent ``k``
+``(u, v, w)`` tuples cost — which is what makes the columnar engine's
+O(1) run sizing (``block.size``) bit-identical to the object path.
 """
 
 from __future__ import annotations
 
 from itertools import chain
 from typing import Any, Iterable
+
+try:  # pragma: no cover - import guard exercised on minimal installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 __all__ = ["word_size", "word_size_many"]
 
@@ -49,6 +59,15 @@ def word_size(obj: Any) -> int:
         return sum(word_size(k) + word_size(v) for k, v in obj.items())
     if isinstance(obj, (tuple, list, set, frozenset)):
         return sum(word_size(item) for item in obj)
+    if _np is not None and isinstance(obj, _np.generic):
+        # A lone numpy scalar accounts like the Python scalar it wraps.
+        if obj.dtype.kind in "iufb":
+            return 1
+        raise TypeError(f"cannot compute word size of dtype {obj.dtype}")
+    if _np is not None and isinstance(obj, _np.ndarray):
+        if obj.dtype.kind in "iufb":
+            return int(obj.size)
+        raise TypeError(f"cannot compute word size of dtype {obj.dtype}")
     raise TypeError(f"cannot compute word size of {type(obj).__name__}")
 
 
@@ -74,6 +93,12 @@ def word_size_many(items: Iterable[Any]) -> int:
       exact-type checks and fall back to the per-item sizer, which handles
       them identically to :func:`word_size`.
     """
+    if _np is not None and isinstance(items, _np.ndarray):
+        # A numeric block: the leading axis indexes items, every element
+        # is one word, so the whole run sizes in O(1).
+        if items.dtype.kind in "iufb":
+            return int(items.size)
+        raise TypeError(f"cannot compute word size of dtype {items.dtype}")
     if not isinstance(items, (list, tuple)):
         items = list(items)
     if not items:

@@ -22,7 +22,6 @@ from functools import cached_property
 from typing import Any, Callable
 
 from ..mpc.cluster import Cluster
-from ..mpc.plan import RoundPlan
 from .broadcast import broadcast, converge_cast
 
 __all__ = ["SortLayout", "sample_sort"]
@@ -105,16 +104,17 @@ def sample_sort(
     broadcast(cluster, coordinator, tuple(splitters), machine_ids, note=f"{note}/splitters")
 
     # Step 3: route every item to its bucket machine — the hottest exchange
-    # in the repo, so traffic is bucketed locally and shipped as one batch
-    # per (machine, bucket) pair.
-    plan = RoundPlan(note=f"{note}/route")
+    # in the repo: each machine hands the engine its destination column and
+    # the engine groups the scatter into one run per (machine, bucket) pair.
+    plan = cluster.plan(note=f"{note}/route")
     for machine in smalls:
-        outgoing: dict[int, list[Any]] = {}
-        for item in machine.pop(name, []):
-            bucket = bisect.bisect_right(splitters, key(item))
-            outgoing.setdefault(machine_ids[bucket], []).append(item)
-        for target, batch in outgoing.items():
-            plan.send_batch(machine.machine_id, target, batch)
+        items = machine.pop(name, [])
+        if items:
+            dsts = [
+                machine_ids[bisect.bisect_right(splitters, key(item))]
+                for item in items
+            ]
+            plan.send_indexed(machine.machine_id, dsts, items)
     inboxes = cluster.execute(plan)
     counts = []
     for machine in smalls:

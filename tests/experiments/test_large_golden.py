@@ -1,0 +1,155 @@
+"""Golden pins for the large-n regime scenarios (quick-mode sizing).
+
+The large-regime sweeps are the workloads the columnar engine was built
+to afford; their artifacts must stay byte-deterministic across engine
+work.  Each test runs one scenario at quick sizing through the shared
+``Runner`` (seed 0, the CLI default) and compares every row — including
+the ledger-derived ``*_words`` / ``*_max_memory`` columns — against
+values captured at pin time.  A drift here means the engine changed
+model-level accounting, not just speed.
+
+A final test checks that ``repro report --check`` flags a stale large
+artifact, closing the loop from engine changes to the committed guide.
+"""
+
+import pytest
+
+from repro.experiments import Runner, get_scenario
+from repro.experiments.report import check_report, write_report
+
+GOLDEN_QUICK_ROWS = {
+    "table1_connectivity_large": [
+        {"n": 160, "m": 471, "het_rounds": 4, "sub_rounds": 17,
+         "theory_het": "O(1)", "theory_sub": "~log n",
+         "het_words": 4870014, "het_max_memory": 196160,
+         "sub_words": 30836, "sub_max_memory": 2519},
+        {"n": 320, "m": 944, "het_rounds": 4, "sub_rounds": 17,
+         "theory_het": "O(1)", "theory_sub": "~log n",
+         "het_words": 11969424, "het_max_memory": 493120,
+         "sub_words": 57449, "sub_max_memory": 3861},
+    ],
+    "table1_mst_large": [
+        {"m/n": 2, "het_steps": 0, "het_rounds": 19, "sub_iters": 5,
+         "sub_rounds": 68, "theory_het~loglog(m/n)": 1.0,
+         "theory_sub~log(n)": 8.321928094887362,
+         "het_words": 60455, "het_max_memory": 4518,
+         "sub_words": 122686, "sub_max_memory": 3382},
+        {"m/n": 8, "het_steps": 2, "het_rounds": 81, "sub_iters": 5,
+         "sub_rounds": 68, "theory_het~loglog(m/n)": 1.584962500721156,
+         "theory_sub~log(n)": 8.321928094887362,
+         "het_words": 1317981, "het_max_memory": 24966,
+         "sub_words": 1099077, "sub_max_memory": 16850},
+    ],
+    "table1_matching_large": [
+        {"avg_degree": 4.0, "het_rounds": 36, "phase1_iters": 3,
+         "gu_charge": 3.2, "sub_rounds": 49, "theory_het~sqrt": 1.0,
+         "het_words": 46922, "het_max_memory": 2250,
+         "sub_words": 50466, "sub_max_memory": 2550},
+        {"avg_degree": 16.0, "het_rounds": 40, "phase1_iters": 5,
+         "gu_charge": 4.9, "sub_rounds": 79,
+         "theory_het~sqrt": 2.1805704533822032,
+         "het_words": 341129, "het_max_memory": 12384,
+         "sub_words": 754501, "sub_max_memory": 12683},
+    ],
+    "workload_power_law_large": [
+        {"regime": "heterogeneous", "n": 320, "m": 599, "max_degree": 61,
+         "components": 40, "rounds": 4, "words": 6796116,
+         "max_memory": 492800},
+        {"regime": "sublinear", "n": 320, "m": 599, "max_degree": 61,
+         "components": 40, "rounds": 32, "words": 38098, "max_memory": 2253},
+        {"regime": "near_linear", "n": 320, "m": 599, "max_degree": 61,
+         "components": 40, "rounds": 2, "words": 2098860,
+         "max_memory": 492800},
+        {"regime": "superlinear", "n": 320, "m": 599, "max_degree": 61,
+         "components": 40, "rounds": 4, "words": 6828477,
+         "max_memory": 492800},
+    ],
+    "workload_grid_large": [
+        {"regime": "heterogeneous", "n": 192, "m": 384, "max_degree": 4,
+         "components": 1, "rounds": 4, "words": 4299228,
+         "max_memory": 249216},
+        {"regime": "sublinear", "n": 192, "m": 384, "max_degree": 4,
+         "components": 1, "rounds": 17, "words": 21874, "max_memory": 1809},
+        {"regime": "near_linear", "n": 192, "m": 384, "max_degree": 4,
+         "components": 1, "rounds": 2, "words": 1417434,
+         "max_memory": 249216},
+        {"regime": "superlinear", "n": 192, "m": 384, "max_degree": 4,
+         "components": 1, "rounds": 4, "words": 4275864,
+         "max_memory": 249216},
+    ],
+    "workload_community_large": [
+        {"regime": "heterogeneous", "n": 240, "m": 687, "max_degree": 12,
+         "components": 1, "rounds": 4, "words": 7309443,
+         "max_memory": 311520},
+        {"regime": "sublinear", "n": 240, "m": 687, "max_degree": 12,
+         "components": 1, "rounds": 34, "words": 60721, "max_memory": 3155},
+        {"regime": "near_linear", "n": 240, "m": 687, "max_degree": 12,
+         "components": 1, "rounds": 2, "words": 2441565,
+         "max_memory": 311520},
+        {"regime": "superlinear", "n": 240, "m": 687, "max_degree": 12,
+         "components": 1, "rounds": 4, "words": 7367853,
+         "max_memory": 311520},
+    ],
+    "workload_multi_component_large": [
+        {"regime": "heterogeneous", "n": 240, "m": 480, "max_degree": 10,
+         "components": 5, "rounds": 4, "words": 5140359,
+         "max_memory": 311520},
+        {"regime": "sublinear", "n": 240, "m": 480, "max_degree": 10,
+         "components": 5, "rounds": 17, "words": 26334, "max_memory": 2027},
+        {"regime": "near_linear", "n": 240, "m": 480, "max_degree": 10,
+         "components": 5, "rounds": 2, "words": 1651074,
+         "max_memory": 311520},
+        {"regime": "superlinear", "n": 240, "m": 480, "max_degree": 10,
+         "components": 5, "rounds": 4, "words": 5128677,
+         "max_memory": 311520},
+    ],
+    "workload_near_clique_large": [
+        {"regime": "heterogeneous", "n": 64, "m": 1976, "max_degree": 63,
+         "components": 1, "rounds": 6, "words": 15539652,
+         "max_memory": 60608},
+        {"regime": "sublinear", "n": 64, "m": 1976, "max_degree": 63,
+         "components": 1, "rounds": 21, "words": 489636,
+         "max_memory": 11936},
+        {"regime": "near_linear", "n": 64, "m": 1976, "max_degree": 63,
+         "components": 1, "rounds": 2, "words": 4903845,
+         "max_memory": 60608},
+        {"regime": "superlinear", "n": 64, "m": 1976, "max_degree": 63,
+         "components": 1, "rounds": 6, "words": 15477150,
+         "max_memory": 60608},
+    ],
+}
+
+
+def assert_rows_match(measured, golden) -> None:
+    assert len(measured) == len(golden)
+    for row, expected in zip(measured, golden):
+        assert set(row) == set(expected)
+        for key, value in expected.items():
+            if isinstance(value, float):
+                assert row[key] == pytest.approx(value, rel=1e-9), key
+            else:
+                assert row[key] == value, key
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_QUICK_ROWS))
+def test_large_scenario_quick_rows_are_pinned(name):
+    run = Runner(seed=0).run(get_scenario(name), quick=True)
+    assert_rows_match(run.rows, GOLDEN_QUICK_ROWS[name])
+
+
+def test_report_check_flags_stale_large_artifact(tmp_path):
+    """`repro report --check` must catch drift in a large-regime artifact."""
+    results = tmp_path / "results"
+    runner = Runner(results_dir=results, seed=0)
+    scenario = get_scenario("table1_connectivity_large")
+    runner.persist(runner.run(scenario, quick=True))
+    doc = tmp_path / "REPRODUCTION.md"
+    write_report(results_dir=results, doc_path=doc)
+    assert check_report(results_dir=results, doc_path=doc) == []
+
+    artifact = results / "table1_connectivity_large.json"
+    artifact.write_text(
+        artifact.read_text().replace('"het_rounds": 4', '"het_rounds": 5')
+    )
+    problems = check_report(results_dir=results, doc_path=doc)
+    assert problems and "stale" in problems[0]

@@ -1,0 +1,117 @@
+"""The engine backend seam: resolution, grouping kernels, equivalence."""
+
+import random
+
+import pytest
+
+from repro.mpc.backend import (
+    HAS_NUMPY,
+    NumpyEngineBackend,
+    PureEngineBackend,
+    available_engine_backends,
+    get_engine_backend,
+)
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def test_default_is_pure(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_BACKEND", raising=False)
+    assert get_engine_backend().name == "pure"
+    assert get_engine_backend("pure").name == "pure"
+
+
+def test_env_var_overrides_default(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", "pure")
+    assert get_engine_backend().name == "pure"
+    if HAS_NUMPY:
+        monkeypatch.setenv("REPRO_ENGINE_BACKEND", "numpy")
+        assert get_engine_backend().name == "numpy"
+
+
+def test_instances_pass_through():
+    backend = PureEngineBackend()
+    assert get_engine_backend(backend) is backend
+
+
+def test_auto_resolves_to_an_available_backend():
+    assert get_engine_backend("auto").name in available_engine_backends()
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError):
+        get_engine_backend("gpu")
+
+
+def test_available_backends_always_include_pure():
+    names = available_engine_backends()
+    assert "pure" in names
+    assert ("numpy" in names) == HAS_NUMPY
+
+
+# ----------------------------------------------------------------------
+# Grouping kernels
+# ----------------------------------------------------------------------
+def test_pure_grouping_is_stable_and_dst_sorted():
+    backend = PureEngineBackend()
+    runs = backend.group_indexed([3, 1, 3, 1, 2], ["a", "b", "c", "d", "e"])
+    assert runs == [(1, ["b", "d"]), (2, ["e"]), (3, ["a", "c"])]
+
+
+def test_pure_grouping_handles_empty_scatter():
+    assert PureEngineBackend().group_indexed([], []) == []
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_numpy_grouping_matches_pure_on_lists():
+    """Object payloads take the pure kernel under either backend."""
+    rng = random.Random(3)
+    dsts = [rng.randrange(6) for _ in range(200)]
+    items = [("x", i) for i in range(200)]
+    assert NumpyEngineBackend().group_indexed(dsts, items) == (
+        PureEngineBackend().group_indexed(dsts, items)
+    )
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_numpy_grouping_of_arrays_matches_pure_partition():
+    import numpy as np
+
+    rng = random.Random(5)
+    dsts = [rng.randrange(4) for _ in range(300)]
+    rows = [(i, i * i) for i in range(300)]
+    numpy_runs = NumpyEngineBackend().group_indexed(
+        np.asarray(dsts, dtype=np.int64), np.asarray(rows, dtype=np.int64)
+    )
+    pure_runs = PureEngineBackend().group_indexed(dsts, rows)
+    assert [dst for dst, _ in numpy_runs] == [dst for dst, _ in pure_runs]
+    for (_, block), (_, items) in zip(numpy_runs, pure_runs):
+        assert [tuple(row) for row in block.tolist()] == items
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_numpy_grouping_rejects_mismatched_columns():
+    import numpy as np
+
+    with pytest.raises(ValueError):
+        NumpyEngineBackend().group_indexed(
+            np.asarray([0, 1], dtype=np.int64), np.zeros((3, 2), dtype=np.int64)
+        )
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_numpy_blocks_are_views_of_the_scatter():
+    """Grouping must not copy payload rows item by item: blocks slice the
+    argsorted scatter."""
+    import numpy as np
+
+    rows = np.arange(40, dtype=np.int64).reshape(10, 4)
+    runs = NumpyEngineBackend().group_indexed(
+        np.asarray([1] * 10, dtype=np.int64), rows
+    )
+    assert len(runs) == 1
+    dst, block = runs[0]
+    assert dst == 1
+    assert block.shape == (10, 4)
+    assert block.base is not None  # a view, not a per-item rebuild

@@ -203,6 +203,110 @@ def test_execute_and_exchange_match_per_message_inbox_order(messages):
     ]
 
 
+# ----------------------------------------------------------------------
+# Columnar storage: run growth, slicing boundaries, the sizing cache
+# ----------------------------------------------------------------------
+def test_contiguous_sends_extend_the_open_run():
+    plan = RoundPlan()
+    plan.send(0, 1, "a")
+    plan.send_batch(0, 1, ["b", "c"])
+    plan.send(0, 1, "d", "e")
+    assert plan.run_count() == 1
+    assert list(plan.runs()) == [(0, 1, ["a", "b", "c", "d", "e"])]
+
+
+def test_interleaved_routes_split_runs_but_aggregate_per_route():
+    plan = RoundPlan()
+    plan.send(0, 1, "a")
+    plan.send(2, 5, "b")
+    plan.send(0, 1, "c")
+    # The flat store is no longer contiguous for route (0, 1): two runs.
+    assert plan.run_count() == 3
+    assert plan.routes() == 2
+    assert list(plan.batches()) == [(0, 1, ["a", "c"]), (2, 5, ["b"])]
+    # Delivery still sees exact send order.
+    assert dict(plan.deliveries()) == {1: ["a", "c"], 5: ["b"]}
+
+
+def test_run_slices_respect_boundaries():
+    """Slicing must not bleed across neighbouring runs in the flat store."""
+    plan = RoundPlan()
+    for index in range(10):
+        plan.send_batch(index % 3, 7, [index] * (index + 1))
+    runs = list(plan.runs())
+    flattened = [item for _, _, items in runs for item in items]
+    assert flattened == [i for i in range(10) for _ in range(i + 1)]
+    assert [len(items) for _, _, items in runs] == [
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+    ]
+    assert plan.item_count() == 55
+
+
+def test_run_words_cache_is_invalidated_by_later_sends():
+    plan = RoundPlan()
+    plan.send_batch(0, 1, [(1, 2, 3)])
+    first = plan.run_words()
+    assert first == [3]
+    assert plan.run_words() is first  # cached
+    plan.send(0, 1, (4, 5))
+    assert plan.run_words() == [5]   # recomputed after growth
+    plan.send(2, 3, "abcdefgh")
+    assert plan.run_words() == [5, 2]
+
+
+def test_run_meta_parallel_arrays_are_consistent():
+    plan = RoundPlan()
+    plan.send_batch(0, 4, [1, 2, 3])
+    plan.send_batch(1, 4, [(5, 6)])
+    srcs, dsts, lens, words = plan.run_meta()
+    assert srcs == [0, 1]
+    assert dsts == [4, 4]
+    assert lens == [3, 1]
+    assert words == [3, 2]
+
+
+def test_send_indexed_object_path_groups_stably():
+    plan = RoundPlan()
+    plan.send_indexed(0, [5, 3, 5, 3, 5], ["a", "b", "c", "d", "e"])
+    assert list(plan.runs()) == [(0, 3, ["b", "d"]), (0, 5, ["a", "c", "e"])]
+    assert plan.item_count() == 5
+    assert dict(plan.deliveries()) == {3: ["b", "d"], 5: ["a", "c", "e"]}
+
+
+def test_send_indexed_empty_and_mismatched():
+    plan = RoundPlan()
+    plan.send_indexed(0, [], [])
+    assert plan.is_empty
+    with pytest.raises(ValueError):
+        plan.send_indexed(0, [1, 2], ["only-one"])
+
+
+def test_send_indexed_executes_like_send_batch():
+    via_indexed = make_cluster()
+    plan = via_indexed.plan(note="x")
+    plan.send_indexed(0, [1, 2, 1], [(1, 2), (3, 4), (5, 6)])
+    via_indexed.execute(plan)
+
+    via_batch = make_cluster()
+    plan = RoundPlan(note="x")
+    plan.send_batch(0, 1, [(1, 2), (5, 6)])
+    plan.send_batch(0, 2, [(3, 4)])
+    via_batch.execute(plan)
+
+    a = via_indexed.ledger.records[-1]
+    b = via_batch.ledger.records[-1]
+    assert (a.total_words, a.max_sent, a.max_received, a.items) == (
+        b.total_words, b.max_sent, b.max_received, b.items
+    )
+
+
+def test_cluster_plan_wires_the_engine_backend():
+    cluster = make_cluster()
+    plan = cluster.plan(note="wired")
+    assert plan.backend is cluster.engine_backend
+    assert plan.note == "wired"
+
+
 def test_execute_records_note_stats():
     cluster = make_cluster()
     plan = RoundPlan(note="hot")

@@ -166,6 +166,78 @@ def test_word_size_many_unknown_types_raise():
         word_size_many([(1, object())])
 
 
+def test_word_size_many_interned_scalars():
+    """CPython interns small ints and caches True/None singletons; the
+    scalar fast path must count occurrences, not identities."""
+    batch = [1] * 50 + [True] * 10 + [None] * 10 + [-5] * 5
+    assert word_size_many(batch) == 75
+    # bool is a subclass of int; both exact types ride the fast path.
+    assert word_size_many([True, 1, False, 0]) == 4
+
+
+def test_word_size_many_interned_strings_and_empty_bytes():
+    one_char = ["a"] * 20          # interned 1-char strings
+    assert word_size_many(one_char) == 20
+    assert word_size_many([b""] * 8) == 8
+
+
+def test_bytearray_mutation_after_charge_is_visible_to_touch():
+    """A machine caches the charged size at `put`; in-place growth of a
+    bytearray is invisible until `touch` recomputes it — the documented
+    mutation contract."""
+    import random as _random
+
+    from repro.mpc import Cluster, ModelConfig
+
+    cluster = Cluster(ModelConfig.heterogeneous(n=64, m=256),
+                      rng=_random.Random(0))
+    machine = cluster.smalls[0]
+    blob = bytearray(b"x" * 8)
+    machine.put("blob", blob)
+    assert machine.usage == 2
+    blob.extend(b"y" * 32)         # now 40 bytes = 6 words
+    assert machine.usage == 2      # stale by design until touch
+    machine.touch("blob")
+    assert machine.usage == 6
+
+
+def test_word_size_many_mixed_bytes_and_bytearray_after_mutation():
+    blob = bytearray(b"z" * 4)
+    batch = [bytes(blob), blob]
+    before = word_size_many(batch)
+    assert before == 2
+    blob.extend(b"w" * 12)         # 16 bytes = 3 words; re-sizing sees it
+    assert word_size_many(batch) == before + 2
+
+
+NUMPY_AVAILABLE = True
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    NUMPY_AVAILABLE = False
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+def test_numeric_numpy_blocks_charge_one_word_per_element():
+    block = np.arange(12, dtype=np.int64).reshape(4, 3)
+    assert word_size(block) == 12
+    assert word_size_many(block) == 12
+    assert word_size(np.zeros(5, dtype=np.float64)) == 5
+    assert word_size(np.int64(7)) == 1
+    # Exactly what the equivalent tuples cost.
+    assert word_size_many(block) == word_size_many(
+        [tuple(row) for row in block.tolist()]
+    )
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+def test_non_numeric_numpy_dtypes_raise():
+    with pytest.raises(TypeError):
+        word_size(np.array(["a", "b"]))
+    with pytest.raises(TypeError):
+        word_size_many(np.array([object()], dtype=object))
+
+
 def _random_payload(rng: random.Random, depth: int = 0):
     roll = rng.random()
     if depth >= 3 or roll < 0.45:
