@@ -33,7 +33,7 @@ from repro.sketches import GraphSketchSpec, SketchBank
 from repro.sketches.backend import HAS_NUMPY
 from repro.sketches.field import PRIME, trailing_zeros
 
-from _util import publish
+from _util import publish, publish_perf
 
 EDGES = int(os.environ.get("REPRO_BENCH_SKETCH_EDGES", "100000"))
 N = int(os.environ.get("REPRO_BENCH_SKETCH_N", "2048"))
@@ -192,6 +192,12 @@ def test_sketch_throughput(benchmark):
         f"Sketch substrate: edge updates per second, {EDGES}-edge graph (n={N})",
         rows,
         ["implementation", "edges", "edges_per_sec", "speedup"],
+        persist=not SMOKE,
+    )
+    publish_perf(
+        "sketch_throughput",
+        rows,
+        params={"edges": EDGES, "n": N, "copies": 3},
         persist=not SMOKE,
     )
     # The tentpole's acceptance bar: >= 5x over the seed object path in

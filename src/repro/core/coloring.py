@@ -61,10 +61,8 @@ def heterogeneous_coloring(
         cluster, [(e[0], e[1]) for e in graph.edges], name="color-edges"
     )
 
-    degrees = store.aggregate(lambda e: (e[0], 1), lambda a, b: a + b, note="deg")
-    for v, extra in store.aggregate(
-        lambda e: (e[1], 1), lambda a, b: a + b, note="deg2"
-    ).items():
+    degrees = store.aggregate(lambda e: (e[0], 1), "sum", note="deg")
+    for v, extra in store.aggregate(lambda e: (e[1], 1), "sum", note="deg2").items():
         degrees[v] = degrees.get(v, 0) + extra
     max_degree = max(degrees.values(), default=0)
     universe = max_degree + 1

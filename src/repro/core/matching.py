@@ -127,12 +127,8 @@ def heterogeneous_matching(
     degree_cap = average_degree * average_degree
 
     # --- Phase 1: maximal matching on the low-degree induced subgraph ------
-    degrees = store.aggregate(
-        lambda e: (e[0], 1), lambda a, b: a + b, note="phase1/deg-u"
-    )
-    degrees_v = store.aggregate(
-        lambda e: (e[1], 1), lambda a, b: a + b, note="phase1/deg-v"
-    )
+    degrees = store.aggregate(lambda e: (e[0], 1), "sum", note="phase1/deg-u")
+    degrees_v = store.aggregate(lambda e: (e[1], 1), "sum", note="phase1/deg-v")
     for vertex, count in degrees_v.items():
         degrees[vertex] = degrees.get(vertex, 0) + count
     low = {v for v in range(n) if degrees.get(v, 0) <= degree_cap}
@@ -198,7 +194,7 @@ def _high_degree_phases(
             cluster,
             ranked_name,
             directed_name=f"{ranked_name}.directed",
-            secondary_key=lambda record: record[2],
+            secondary_key=2,
             note="phase2/arrange",
         )
         high = {v for v in arrangement.out_degrees if v not in low}

@@ -73,9 +73,9 @@ def exact_unweighted_mincut(
         attempts = max(8, 2 * int(math.log2(max(n, 4))) ** 2)
 
     # Degrees once (Claim 2): gives delta and the best singleton cut.
-    degrees = store.aggregate(lambda e: (e[0], 1), lambda a, b: a + b, note="degrees")
+    degrees = store.aggregate(lambda e: (e[0], 1), "sum", note="degrees")
     for v, extra in store.aggregate(
-        lambda e: (e[1], 1), lambda a, b: a + b, note="degrees2"
+        lambda e: (e[1], 1), "sum", note="degrees2"
     ).items():
         degrees[v] = degrees.get(v, 0) + extra
     delta = min((degrees.get(v, 0) for v in range(n)), default=0)

@@ -78,10 +78,8 @@ def heterogeneous_mis(
     rng.shuffle(order)
     rank = {v: position + 1 for position, v in enumerate(order)}
 
-    degrees = store.aggregate(lambda e: (e[0], 1), lambda a, b: a + b, note="deg")
-    for v, extra in store.aggregate(
-        lambda e: (e[1], 1), lambda a, b: a + b, note="deg2"
-    ).items():
+    degrees = store.aggregate(lambda e: (e[0], 1), "sum", note="deg")
+    for v, extra in store.aggregate(lambda e: (e[1], 1), "sum", note="deg2").items():
         degrees[v] = degrees.get(v, 0) + extra
     max_degree = max(degrees.values(), default=1)
 
@@ -151,7 +149,7 @@ def heterogeneous_mis(
                 machine.put(pairs_name, pairs)
                 machine.put(store.name, survivors)
             blocked_report = EdgeStore(cluster, pairs_name).aggregate(
-                lambda pair: (pair[0], pair[1]), lambda a, b: a or b, note="blocked"
+                lambda pair: (pair[0], pair[1]), "or", note="blocked"
             )
             cluster.map_small(pairs_name, lambda m, items: [])
             blocked.update(v for v, flag in blocked_report.items() if flag)

@@ -150,7 +150,7 @@ def _boruvka_step(
         cluster,
         store.name,
         directed_name=f"{store.name}.directed",
-        secondary_key=lambda record: record[2],
+        secondary_key=2,
         note="arrange",
     )
 

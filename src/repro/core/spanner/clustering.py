@@ -134,7 +134,7 @@ def build_clustering_graphs(
             pairs.append((record[1], mask_u))
         machine.put(pairs2, pairs)
     final_or = EdgeStore(cluster, pairs2).aggregate(
-        lambda pair: (pair[0], pair[1]), lambda a, b: a | b, note=f"{note}/i_u"
+        lambda pair: (pair[0], pair[1]), "or", note=f"{note}/i_u"
     )
     cluster.map_small(pairs2, lambda m, items: [])
 
@@ -166,7 +166,7 @@ def build_clustering_graphs(
                 candidates.append((v, (cluster.rng.random(), u, (record[0], record[1]))))
         machine.put(candidate_name, candidates)
     chosen_center = EdgeStore(cluster, candidate_name).aggregate(
-        lambda pair: (pair[0], pair[1]), lambda a, b: min(a, b), note=f"{note}/sigma"
+        lambda pair: (pair[0], pair[1]), min, note=f"{note}/sigma"
     )
     cluster.map_small(candidate_name, lambda m, items: [])
 
@@ -205,7 +205,7 @@ def build_clustering_graphs(
 
     # --- per-level statistics (Claim 2) -------------------------------------
     level_edge_counts = ai_store.aggregate(
-        lambda r: (r[2][0], 1), lambda a, b: a + b, note=f"{note}/edge-counts"
+        lambda r: (r[2][0], 1), "sum", note=f"{note}/edge-counts"
     )
     vertex_marks = ai_store.aggregate(
         lambda r: ((r[2][0], r[0]), 1), lambda a, b: 1, note=f"{note}/vertex-counts"
@@ -241,4 +241,4 @@ def _aggregate_degrees(
     }
     from ...primitives.aggregate import aggregate
 
-    return aggregate(cluster, pairs_by_machine, lambda a, b: a + b, note=note)
+    return aggregate(cluster, pairs_by_machine, "sum", note=note)

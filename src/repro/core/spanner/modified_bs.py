@@ -260,9 +260,7 @@ def modified_baswana_sen_mpc(
         machine.put(candidate_name, candidates)
     candidate_store = EdgeStore(cluster, candidate_name)
     best = candidate_store.aggregate(
-        lambda pair: (pair[0], pair[1]),
-        lambda x, y: min(x, y),
-        note=f"{note}/select",
+        lambda pair: (pair[0], pair[1]), min, note=f"{note}/select"
     )
     candidate_store.drop()
 

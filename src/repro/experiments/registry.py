@@ -716,7 +716,7 @@ def _measure_ablation_gamma(gamma: float, rng: random.Random, quick: bool) -> di
     sort_rounds = cluster.ledger.rounds - before
 
     before = cluster.ledger.rounds
-    store.aggregate(lambda e: (e[0], 1), lambda a, b: a + b)
+    store.aggregate(lambda e: (e[0], 1), "sum")
     aggregate_rounds = cluster.ledger.rounds - before
 
     before = cluster.ledger.rounds
@@ -1142,3 +1142,201 @@ _register_workload(
     ),
     group="large",
 )
+
+
+# ----------------------------------------------------------------------
+# Huge regime: 10-100x beyond `large`.  The array-native primitives
+# (columnar record batches end to end) plus the vectorized sketch
+# substrate push single-host sweeps to n ~ 10^4-10^5; the connectivity
+# row additionally uses gamma = 0.75 (fewer, fatter small machines — an
+# in-model choice of the Section 2 memory exponent) so per-machine
+# batches are large enough to amortize the kernel dispatch.
+# Regenerating the full artifacts is minutes-scale; set
+# REPRO_SKETCH_BACKEND=numpy to use the vectorized sketch kernels
+# (the artifacts are bit-identical either way).
+# ----------------------------------------------------------------------
+
+def _measure_huge_connectivity(n: int, rng: random.Random, quick: bool) -> dict:
+    local = random.Random(n)
+    graph = generators.planted_components_graph(n, 4, 2 * n, local)
+    truth = component_labels(graph)
+    config = ModelConfig(n=n, m=graph.m, gamma=0.75)
+    # A single sketch instance suffices at this scale (failure is
+    # one-sided and the seeds are pinned; the assertion below would
+    # catch a miss at pin time).
+    het = heterogeneous_connectivity(
+        graph, config=config, rng=random.Random(n + 1), instances=1
+    )
+    assert het.labels == truth
+    sub = sublinear_connectivity(graph, rng=random.Random(n + 2))
+    assert sub.labels == truth
+    return {
+        "n": n,
+        "m": graph.m,
+        "het_rounds": het.rounds,
+        "sub_rounds": sub.rounds,
+        "theory_het": "O(1)",
+        "theory_sub": "~log n",
+        "_ledgers": {"het": het.cluster.ledger, "sub": sub.cluster.ledger},
+    }
+
+
+def _check_huge_connectivity(rows) -> None:
+    het_rounds = [row["het_rounds"] for row in rows]
+    assert max(het_rounds) <= 8  # O(1) survives the 10^4-vertex jump
+    assert all(row["sub_rounds"] > max(het_rounds) for row in rows)
+
+
+_register(Scenario(
+    name="table1_connectivity_huge",
+    title="Huge-n / connectivity: O(1) heterogeneous vs ~log n sublinear "
+          "at n=12800 (10x the large sweep)",
+    group="huge",
+    problem="connectivity",
+    graph_family="planted_components",
+    regimes=("heterogeneous", "sublinear"),
+    axis="n",
+    points=(12800,),
+    quick_points=(1600,),
+    measure=_measure_huge_connectivity,
+    columns=("n", "m", "het_rounds", "sub_rounds", "theory_het", "theory_sub"),
+    check=_check_huge_connectivity,
+    paper_ref="Theorem C.1 vs [11], huge-n regime",
+))
+
+
+def _measure_huge_mst(ratio: int, rng: random.Random, quick: bool) -> dict:
+    n = 3000 if quick else 24000
+    local = random.Random(ratio)
+    m = min(n * (n - 1) // 2, n * ratio)
+    graph = generators.random_connected_graph(n, m, local).with_unique_weights(local)
+    het = heterogeneous_mst(graph, rng=random.Random(ratio + 1))
+    assert verify_mst(graph, het.edges)
+    sub = sublinear_boruvka_mst(graph, rng=random.Random(ratio + 2))
+    assert verify_mst(graph, sub.edges)
+    return {
+        "m/n": ratio,
+        "het_steps": het.boruvka_steps,
+        "het_rounds": het.rounds,
+        "sub_iters": sub.iterations,
+        "sub_rounds": sub.rounds,
+        "theory_het~loglog(m/n)": predicted_rounds("mst", "heterogeneous", n=n, m=m),
+        "theory_sub~log(n)": predicted_rounds("mst", "sublinear", n=n, m=m),
+        "_ledgers": {"het": het.cluster.ledger, "sub": sub.cluster.ledger},
+    }
+
+
+def _check_huge_mst(rows) -> None:
+    steps = [row["het_steps"] for row in rows]
+    assert steps == sorted(steps)
+    assert steps[-1] <= 5
+    assert all(row["sub_iters"] > row["het_steps"] for row in rows)
+
+
+_register(Scenario(
+    name="table1_mst_huge",
+    title="Huge-n / MST: O(log log(m/n)) heterogeneous vs O(log n) "
+          "sublinear at n=24000 (25x the large sweep)",
+    group="huge",
+    problem="mst",
+    graph_family="random_connected",
+    regimes=("heterogeneous", "sublinear"),
+    axis="m/n",
+    points=(2, 8),
+    quick_points=(2,),
+    measure=_measure_huge_mst,
+    columns=("m/n", "het_steps", "het_rounds", "sub_iters", "sub_rounds",
+             "theory_het~loglog(m/n)", "theory_sub~log(n)"),
+    check=_check_huge_mst,
+    paper_ref="Theorem 1.2 / Theorem 3.1, huge-n regime",
+))
+
+
+def _measure_huge_matching(density: int, rng: random.Random, quick: bool) -> dict:
+    n = 2500 if quick else 10000
+    local = random.Random(density)
+    m = min(n * (n - 1) // 2, n * density)
+    graph = generators.random_connected_graph(n, m, local)
+    het = heterogeneous_matching(graph, rng=random.Random(density + 1))
+    assert is_maximal_matching(graph, het.matching)
+    sub = sublinear_matching(graph, rng=random.Random(density + 2))
+    assert is_maximal_matching(graph, sub.matching)
+    return {
+        "avg_degree": round(graph.average_degree, 1),
+        "het_rounds": het.rounds,
+        "phase1_iters": het.phase1_iterations,
+        "gu_charge": round(low_degree_phase_rounds(graph.max_degree), 1),
+        "sub_rounds": sub.rounds,
+        "theory_het~sqrt": predicted_rounds("matching", "heterogeneous", n=n, m=m),
+        "_ledgers": {"het": het.cluster.ledger, "sub": sub.cluster.ledger},
+    }
+
+
+def _check_huge_matching(rows) -> None:
+    het = [row["het_rounds"] for row in rows]
+    assert het[-1] <= 3 * het[0]  # sqrt-log growth, never linear
+
+
+_register(Scenario(
+    name="table1_matching_huge",
+    title="Huge-n / maximal matching: O(sqrt(log d log log d)) "
+          "heterogeneous at n=10000 (12x the large sweep)",
+    group="huge",
+    problem="matching",
+    graph_family="random_connected",
+    regimes=("heterogeneous", "sublinear"),
+    axis="m/n",
+    points=(2, 8),
+    quick_points=(2,),
+    measure=_measure_huge_matching,
+    columns=("avg_degree", "het_rounds", "phase1_iters", "gu_charge",
+             "sub_rounds", "theory_het~sqrt"),
+    check=_check_huge_matching,
+    paper_ref="Theorem 5.1, huge-n regime",
+))
+
+
+def _measure_huge_workload(regime: str, rng: random.Random, quick: bool) -> dict:
+    """The workload-matrix row at huge scale.  Same shape as
+    :func:`_workload_point`, but the sketch regimes run a single
+    amplification instance — failure is one-sided, the seeds are pinned,
+    and the exactness assertion would catch a miss at pin time."""
+    graph = generators.power_law_graph(
+        800 if quick else 12800, random.Random(127), exponent=2.5, avg_degree=4.0
+    )
+    truth = component_labels(graph)
+    config = regime_config(regime, n=graph.n, m=graph.m)
+    if regime == "sublinear":
+        result = sublinear_connectivity(graph, config=config, rng=rng)
+    else:
+        result = heterogeneous_connectivity(
+            graph, config=config, rng=rng, instances=1
+        )
+    assert result.labels == truth
+    return {
+        "regime": regime,
+        "n": graph.n,
+        "m": graph.m,
+        "max_degree": graph.max_degree,
+        "components": len(set(truth)),
+        "rounds": result.rounds,
+        "_ledgers": {"": result.cluster.ledger},
+    }
+
+
+_register(Scenario(
+    name="workload_power_law_huge",
+    title="Huge workload / power-law (Chung-Lu) graphs across regimes "
+          "(10x the large sweep)",
+    group="huge",
+    problem="connectivity",
+    graph_family="power_law",
+    regimes=_WORKLOAD_REGIMES,
+    axis="regime",
+    points=_WORKLOAD_REGIMES,
+    quick_points=_WORKLOAD_REGIMES,
+    measure=_measure_huge_workload,
+    columns=_WORKLOAD_COLUMNS,
+    check=_check_workload,
+    paper_ref="Theorem C.1 across Section 2 / Section 6 regimes, huge-n",
+))

@@ -36,6 +36,7 @@ _GROUP_HEADINGS = {
     "ablation": "Ablations",
     "workload": "Workload matrix",
     "large": "Large-n regime",
+    "huge": "Huge-n regime",
 }
 
 

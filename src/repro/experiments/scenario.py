@@ -26,7 +26,7 @@ __all__ = ["GROUPS", "REGIMES", "Scenario", "regime_config"]
 #: them.  ``large`` is the large-n regime opened by the columnar round
 #: engine: the Table-1 flagship problems and the workload matrix at
 #: 10-50x the classic sweep sizes.
-GROUPS = ("table1", "figure", "theorem", "ablation", "workload", "large")
+GROUPS = ("table1", "figure", "theorem", "ablation", "workload", "large", "huge")
 
 #: Named ``ModelConfig`` factories — the regimes a scenario can declare.
 #: Each takes the workload's ``n``/``m`` (plus regime-specific keywords)

@@ -95,7 +95,12 @@ def word_size_many(items: Iterable[Any]) -> int:
     """
     if _np is not None and isinstance(items, _np.ndarray):
         # A numeric block: the leading axis indexes items, every element
-        # is one word, so the whole run sizes in O(1).
+        # is one word, so the whole run sizes in O(1).  An *empty* array
+        # is zero words whatever its dtype — empty index arrays from the
+        # columnar primitives must size cleanly, mirroring the engine's
+        # empty-scatter handling (no run, no round).
+        if items.size == 0:
+            return 0
         if items.dtype.kind in "iufb":
             return int(items.size)
         raise TypeError(f"cannot compute word size of dtype {items.dtype}")

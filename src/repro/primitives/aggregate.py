@@ -12,6 +12,21 @@ All traffic moves through the batched round engine: every tree level is one
 :func:`~repro.primitives.broadcast.converge_cast`) with one batch per
 machine pair, so the per-level cost is a handful of bulk sizing passes
 rather than one recursive sizing call per partial aggregate.
+
+*combine* is either a binary callable (the pre-columnar idiom, always
+executed on the object path) or a **named reducer** —
+``"sum"`` / ``"min"`` / ``"max"`` / ``"or"`` (builtin ``min``/``max`` are
+recognized as their named forms).  Named reducers unlock the columnar
+path: when every machine's pairs qualify as int-keyed typed columns
+(:func:`~repro.primitives.columnar.ingest_pairs`) and the reducer stays
+exact over the global value multiset
+(:func:`~repro.primitives.columnar.pairs_fit_kind`), each tree level is
+one ``argsort``/``reduceat`` group-by per machine instead of a per-item
+dict loop, and partial aggregates travel as one ``(n, 2)`` block per edge
+of the tree.  The columnar cast reproduces the object path exactly: same
+levels, same scratch charges (a block accounts ``2n`` words, like ``n``
+pairs), same first-encounter output order — ledgers and results are
+bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -19,7 +34,14 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable, Iterable
 
 from ..mpc.cluster import Cluster
+from . import columnar
 from .broadcast import converge_cast
+from .columnar import EdgeBlock
+
+try:  # optional accelerator — the object path is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _np = None
 
 __all__ = ["aggregate", "aggregate_counts", "count_items"]
 
@@ -37,11 +59,12 @@ def _combine_pairs(
 def aggregate(
     cluster: Cluster,
     pairs_by_machine: dict[int, Iterable[tuple[Hashable, Any]]],
-    combine: Callable[[Any, Any], Any],
+    combine: Callable[[Any, Any], Any] | str,
     dst: int | None = None,
     note: str = "aggregate",
 ) -> dict[Hashable, Any]:
-    """Aggregate ``(key, value)`` items with the binary *combine* function.
+    """Aggregate ``(key, value)`` items with *combine* (callable or named
+    reducer).
 
     Returns the per-key aggregates, delivered to machine *dst* (default:
     the large machine if present, else small machine 0).
@@ -49,12 +72,29 @@ def aggregate(
     if dst is None:
         dst = cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
 
+    # Materialize once: qualification must not consume one-shot iterables
+    # the object path would then miss.
+    materialized = {
+        mid: pairs if isinstance(pairs, (list, EdgeBlock)) else list(pairs)
+        for mid, pairs in pairs_by_machine.items()
+    }
+
+    kind = columnar.resolve_reducer(combine)
+    if kind is not None and columnar.columnar_enabled():
+        columns = _ingest_all(materialized)
+        # An all-empty cast has nothing to vectorize; the object path is
+        # free and trivially identical.
+        if columns and columnar.pairs_fit_kind(list(columns.values()), kind):
+            return _aggregate_columnar(cluster, columns, kind, dst, note)
+
+    combine_fn = columnar.reducer_callable(combine)
+
     def level_combine(buffer: list[Any]) -> list[Any]:
-        return _combine_pairs(buffer, combine)
+        return _combine_pairs(buffer, combine_fn)
 
     locally_combined = {
-        mid: _combine_pairs(list(pairs), combine)
-        for mid, pairs in pairs_by_machine.items()
+        mid: _combine_pairs(list(pairs), combine_fn)
+        for mid, pairs in materialized.items()
     }
     result_pairs = converge_cast(
         cluster, locally_combined, dst, combine=level_combine, note=note
@@ -68,11 +108,24 @@ def aggregate_counts(
     dst: int | None = None,
     note: str = "count",
 ) -> dict[Hashable, int]:
-    """Count occurrences per key (e.g. vertex degrees, Claim 4 step 2)."""
-    pairs = {
-        mid: [(key, 1) for key in keys] for mid, keys in keys_by_machine.items()
-    }
-    return aggregate(cluster, pairs, lambda a, b: a + b, dst=dst, note=note)
+    """Count occurrences per key (e.g. vertex degrees, Claim 4 step 2).
+
+    A numpy key column (e.g. an :class:`EdgeBlock` endpoint column) skips
+    pair materialization entirely — the ``(key, 1)`` pairs are assembled
+    as columns.
+    """
+    pairs: dict[int, Any] = {}
+    for mid, keys in keys_by_machine.items():
+        if _np is not None and isinstance(keys, _np.ndarray):
+            pairs[mid] = EdgeBlock(
+                [
+                    keys.astype(_np.int64, copy=False),
+                    _np.ones(len(keys), dtype=_np.int64),
+                ]
+            )
+        else:
+            pairs[mid] = [(key, 1) for key in keys]
+    return aggregate(cluster, pairs, "sum", dst=dst, note=note)
 
 
 def count_items(
@@ -88,9 +141,139 @@ def count_items(
     """
     pairs = {
         machine.machine_id: [
-            ("total", sum(1 for item in machine.get(name, []) if predicate is None or predicate(item)))
+            (
+                "total",
+                len(machine.get(name, []))
+                if predicate is None
+                else sum(1 for item in machine.get(name, []) if predicate(item)),
+            )
         ]
         for machine in cluster.smalls
     }
-    totals = aggregate(cluster, pairs, lambda a, b: a + b, note=note)
+    totals = aggregate(cluster, pairs, "sum", note=note)
     return totals.get("total", 0)
+
+
+# ----------------------------------------------------------------------
+# Columnar converge-cast
+# ----------------------------------------------------------------------
+def _ingest_all(
+    materialized: dict[int, Any]
+) -> dict[int, tuple[Any, Any]] | None:
+    """Every machine's pairs as ``(keys, values)`` columns, or ``None`` if
+    any machine's pairs do not qualify (all machines or none — a mixed
+    cast could not keep the per-level accounting identical)."""
+    columns: dict[int, tuple[Any, Any]] = {}
+    for mid, pairs in materialized.items():
+        if not len(pairs):
+            continue
+        ingested = columnar.ingest_pairs(pairs)
+        if ingested is None:
+            return None
+        columns[mid] = ingested
+    return columns
+
+
+def _aggregate_columnar(
+    cluster: Cluster,
+    columns_by_machine: dict[int, tuple[Any, Any]],
+    kind: str,
+    dst: int,
+    note: str,
+) -> dict[int, Any]:
+    """The converge-cast of :func:`aggregate`, on ``(keys, values)`` columns.
+
+    Mirrors :func:`~repro.primitives.broadcast.converge_cast` level for
+    level — same sources/representatives schedule, same scratch dataset
+    and charge points, same note strings — with the per-level dict loop
+    replaced by :func:`~repro.primitives.columnar.reduce_pairs` and each
+    tree edge carrying one ``(n, 2)`` block (``n`` items, ``2n`` words:
+    exactly the object path's ``n`` pairs).
+    """
+    fanout = cluster.config.tree_fanout
+    scratch = f"{note}#cast-buffer"
+    machines = cluster.machines
+
+    value_dtype = next(iter(columns_by_machine.values()))[1].dtype
+    transport = _np.float64 if value_dtype.kind == "f" else _np.int64
+
+    # Local pre-combine (uncharged, like the object path's).
+    buffers: dict[int, tuple[Any, Any]] = {}
+    for mid, (keys, values) in columns_by_machine.items():
+        buffers[mid] = columnar.reduce_pairs(keys, values, kind)
+
+    def charge(mid: int) -> None:
+        buffer = buffers.get(mid)
+        if buffer is not None and len(buffer[0]):
+            machines[mid].put(scratch, EdgeBlock(buffer))
+        else:
+            machines[mid].pop(scratch, None)
+
+    def as_transport(buffer: tuple[Any, Any]) -> Any:
+        keys, values = buffer
+        return _np.column_stack(
+            [keys.astype(transport, copy=False), values.astype(transport, copy=False)]
+        )
+
+    def from_transport(blocks: list[Any]) -> tuple[Any, Any]:
+        merged = blocks[0] if len(blocks) == 1 else _np.concatenate(blocks)
+        return (
+            merged[:, 0].astype(_np.int64, copy=False),
+            merged[:, 1].astype(value_dtype, copy=False),
+        )
+
+    empty = (
+        _np.empty(0, dtype=_np.int64),
+        _np.empty(0, dtype=value_dtype),
+    )
+    try:
+        for mid in buffers:
+            charge(mid)
+        while True:
+            sources = sorted(
+                mid for mid in buffers if mid != dst and len(buffers[mid][0])
+            )
+            if not sources:
+                break
+            if len(sources) <= fanout:
+                representatives = {mid: dst for mid in sources}
+            else:
+                representatives = {}
+                for position, mid in enumerate(sources):
+                    group = position // fanout
+                    representatives[mid] = (
+                        sources[group] if sources[group] != mid else mid
+                    )
+            plan = cluster.plan(note=f"{note}/level")
+            for mid in sources:
+                target = representatives[mid]
+                if target == mid:
+                    continue
+                plan.send_batch(mid, target, as_transport(buffers[mid]))
+                buffers[mid] = empty
+                charge(mid)
+            inboxes = cluster.execute(plan)
+            for target, received in inboxes.items():
+                keys, values = from_transport(received)
+                held = buffers.get(target)
+                if held is not None and len(held[0]):
+                    keys = _np.concatenate([held[0], keys])
+                    values = _np.concatenate([held[1], values])
+                if target != dst:
+                    keys, values = columnar.reduce_pairs(keys, values, kind)
+                buffers[target] = (keys, values)
+                charge(target)
+        held = buffers.get(dst, empty)
+        keys, values = columnar.reduce_pairs(held[0], held[1], kind)
+        # Record the destination's post-combine peak (it may never see
+        # another round), then hand the result back to the caller.
+        buffers[dst] = (keys, values)
+        charge(dst)
+        cluster.checkpoint_memory(f"{note}/result")
+    finally:
+        # Strict-mode aborts mid-tree must not leave scratch charged.
+        for mid in buffers:
+            machine = machines.get(mid)
+            if machine is not None:
+                machine.pop(scratch, None)
+    return dict(zip(keys.tolist(), values.tolist()))

@@ -7,6 +7,17 @@ After ``arrange_directed``:
    machine holding its edges (``M_first``), and the full machine range —
    this is exactly the information the MST algorithm's query step and the
    dissemination trees of Claim 3 need.
+
+The directed records handed back to callers are always the nested
+``(src, dst, edge)`` tuples of the original design.  Internally, when the
+stored edges qualify as typed record batches
+(:mod:`repro.primitives.columnar`) and *secondary_key* is a field spec,
+the copies are built flat — ``(src, dst, e0, ..., e_{w-1})`` columns — so
+the dominant sort rides the columnar path and the degree count feeds
+:func:`~repro.primitives.aggregate.aggregate_counts` a key *column*; the
+rows are re-nested before returning.  Flat and nested rows cost the same
+words and their sort keys order isomorphically, so ledgers and results
+match the object path bit for bit.
 """
 
 from __future__ import annotations
@@ -15,8 +26,15 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..mpc.cluster import Cluster
+from . import columnar
 from .aggregate import aggregate_counts
+from .columnar import EdgeBlock
 from .sort import SortLayout, sample_sort
+
+try:  # optional accelerator — the object path is always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _np = None
 
 __all__ = ["Arrangement", "arrange_directed", "directed_copies"]
 
@@ -46,7 +64,7 @@ def arrange_directed(
     cluster: Cluster,
     edges_name: str,
     directed_name: str,
-    secondary_key: Callable[[tuple], Any] | None = None,
+    secondary_key: Callable[[tuple], Any] | int | tuple[int, ...] | None = None,
     note: str = "arrange",
 ) -> Arrangement:
     """Arrange directed copies of the edges stored under *edges_name*.
@@ -55,26 +73,52 @@ def arrange_directed(
     ``(src, secondary_key(edge), dst)``; *secondary_key* defaults to the
     edge itself (the MST algorithm passes the weight, so each vertex's
     out-edges are weight-sorted as Section 3 requires).
+
+    *secondary_key* may be a field spec (an edge column index or tuple of
+    indices) instead of a callable, which unlocks the columnar sort.  A
+    field spec asserts that ``(src, key, dst)`` determines the record —
+    true under the paper's unique-weight convention — mirroring
+    ``sample_sort``'s ``assume_unique`` contract.
     """
-    key2 = secondary_key if secondary_key is not None else (lambda edge: edge)
-
-    for machine in cluster.smalls:
-        records = []
-        for edge in machine.get(edges_name, []):
-            records.extend(directed_copies(edge))
-        machine.put(directed_name, records)
-
-    layout = sample_sort(
-        cluster,
-        directed_name,
-        key=lambda record: (record[0], key2(record[2]), record[1]),
-        note=f"{note}/sort",
+    edge_spec = (
+        columnar.key_fields(secondary_key) if secondary_key is not None else None
     )
+    flat = None
+    if secondary_key is None or edge_spec is not None:
+        flat = _flat_directed(cluster, edges_name, edge_spec)
+
+    if flat is not None:
+        sort_spec, blocks = flat
+        for machine in cluster.smalls:
+            machine.put(directed_name, blocks[machine.machine_id])
+        layout = sample_sort(
+            cluster,
+            directed_name,
+            key=sort_spec,
+            note=f"{note}/sort",
+            assume_unique=edge_spec is not None,
+        )
+    else:
+        if secondary_key is None:
+            key2: Callable[[tuple], Any] = lambda edge: edge  # noqa: E731
+        else:
+            key2 = columnar.as_callable(secondary_key)
+        for machine in cluster.smalls:
+            records = []
+            for edge in machine.get(edges_name, []):
+                records.extend(directed_copies(edge))
+            machine.put(directed_name, records)
+        layout = sample_sort(
+            cluster,
+            directed_name,
+            key=lambda record: (record[0], key2(record[2]), record[1]),
+            note=f"{note}/sort",
+        )
 
     out_degrees = aggregate_counts(
         cluster,
         {
-            machine.machine_id: [record[0] for record in machine.get(directed_name, [])]
+            machine.machine_id: _source_keys(machine.get(directed_name, []))
             for machine in cluster.smalls
         },
         note=f"{note}/degrees",
@@ -82,11 +126,23 @@ def arrange_directed(
 
     holders: dict[int, list[int]] = {}
     for machine in cluster.smalls:
-        seen: set[int] = set()
-        for record in machine.get(directed_name, []):
-            seen.add(record[0])
+        data = machine.get(directed_name, [])
+        if isinstance(data, EdgeBlock):
+            seen = set(data.columns[0].tolist())
+        else:
+            seen = {record[0] for record in data}
         for vertex in sorted(seen):
             holders.setdefault(vertex, []).append(machine.machine_id)
+
+    # Hand the nested records back before any caller looks at the dataset.
+    # Flat and nested rows are the same words, so this is ledger-neutral.
+    if flat is not None:
+        for machine in cluster.smalls:
+            data = machine.get(directed_name, [])
+            rows = data.rows() if isinstance(data, EdgeBlock) else data
+            machine.put(
+                directed_name, [(row[0], row[1], row[2:]) for row in rows]
+            )
 
     # Claim 4, property 2: the large machine informs each M_first(v).  (One
     # scatter round; in the sublinear configuration machine 0 plays large.)
@@ -104,3 +160,64 @@ def arrange_directed(
         out_degrees=out_degrees,
         holders=holders,
     )
+
+
+def _source_keys(data: Any) -> Any:
+    """The source-vertex key of every directed record — as the raw column
+    when the records are a flat block (``aggregate_counts``'s array fast
+    path), else a list."""
+    if isinstance(data, EdgeBlock):
+        return data.columns[0]
+    return [record[0] for record in data]
+
+
+def _flat_directed(
+    cluster: Cluster, edges_name: str, edge_spec: tuple[int, ...] | None
+) -> tuple[tuple[int, ...], dict[int, Any]] | None:
+    """Flat directed copies of every machine's edges, or ``None`` if any
+    machine's edges do not qualify (all machines or none — sorted runs
+    mix rows across machines, so the representation must be uniform).
+
+    Returns ``(sort_spec, blocks_by_machine)``; the spec maps the
+    ``(src, secondary, dst)`` key onto the flat ``(src, dst, edge...)``
+    layout.  Nothing is mutated.
+    """
+    if _np is None or not columnar.columnar_enabled():
+        return None
+    width: int | None = None
+    dtypes: tuple | None = None
+    blocks: dict[int, Any] = {}
+    any_rows = False
+    for machine in cluster.smalls:
+        local = machine.get(edges_name, [])
+        if not len(local):
+            blocks[machine.machine_id] = []
+            continue
+        block = columnar.ensure_block(local)
+        if block is None or block.width < 2:
+            return None
+        col_dtypes = tuple(col.dtype for col in block.columns)
+        if width is None:
+            width, dtypes = block.width, col_dtypes
+        elif block.width != width or col_dtypes != dtypes:
+            return None
+        end_dtype = block.columns[0].dtype
+        if end_dtype.kind != "i" or block.columns[1].dtype != end_dtype:
+            return None
+        any_rows = True
+        src = _np.empty(2 * len(block), dtype=end_dtype)
+        dst = _np.empty(2 * len(block), dtype=end_dtype)
+        src[0::2] = block.columns[0]
+        src[1::2] = block.columns[1]
+        dst[0::2] = block.columns[1]
+        dst[1::2] = block.columns[0]
+        blocks[machine.machine_id] = EdgeBlock(
+            [src, dst, *(_np.repeat(col, 2) for col in block.columns)]
+        )
+    if not any_rows:
+        return None
+    key_fields = edge_spec if edge_spec is not None else tuple(range(width))
+    if key_fields and (max(key_fields) >= width or min(key_fields) < 0):
+        return None
+    sort_spec = (0, *(2 + f for f in key_fields), 1)
+    return sort_spec, blocks

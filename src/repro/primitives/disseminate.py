@@ -59,24 +59,35 @@ def disseminate(
 
     received: dict[int, dict[Hashable, Any]] = {}
 
+    # Per-level sends are batched per (sender, receiver) machine pair: many
+    # trees advance in the same round, and e.g. the seed round pushes one
+    # message per key from one source.  A batch of k messages and k single
+    # sends are the same run-length sum, words and per-machine totals, so
+    # the ledger cannot tell them apart (receivers are simulation-side
+    # here: the inboxes go unread).  Message order inside a batch follows
+    # the key/frontier iteration order, unchanged.
+
     # Round 0: the source seeds the root (first holder) of each key's tree.
-    seed_plan = RoundPlan(note=f"{note}/seed")
+    seed_batches: dict[int, list[tuple[Hashable, Any]]] = {}
     trees: dict[Hashable, list[int]] = {}
     for key, value in values.items():
         machine_list = holders.get(key, [])
         if not machine_list:
             continue
         trees[key] = machine_list
-        seed_plan.send(src, machine_list[0], (key, value))
+        seed_batches.setdefault(machine_list[0], []).append((key, value))
         received.setdefault(machine_list[0], {})[key] = value
-    if not seed_plan.is_empty:
+    if seed_batches:
+        seed_plan = RoundPlan(note=f"{note}/seed")
+        for root, messages in seed_batches.items():
+            seed_plan.send_batch(src, root, messages)
         cluster.execute(seed_plan)
 
     # Subsequent rounds: heap-indexed tree push, all keys in lockstep.
     # Node at position i forwards to children at positions i*fanout+1 ...
     frontier: dict[Hashable, list[int]] = {key: [0] for key in trees}
     while True:
-        plan = RoundPlan(note=f"{note}/push")
+        batches: dict[tuple[int, int], list[tuple[Hashable, Any]]] = {}
         new_frontier: dict[Hashable, list[int]] = {}
         for key, positions in frontier.items():
             machine_list = trees[key]
@@ -84,11 +95,15 @@ def disseminate(
             for position in positions:
                 first_child = position * fanout + 1
                 for child in range(first_child, min(first_child + fanout, len(machine_list))):
-                    plan.send(machine_list[position], machine_list[child], (key, value))
+                    pair = (machine_list[position], machine_list[child])
+                    batches.setdefault(pair, []).append((key, value))
                     received.setdefault(machine_list[child], {})[key] = value
                     new_frontier.setdefault(key, []).append(child)
-        if plan.is_empty:
+        if not batches:
             break
+        plan = RoundPlan(note=f"{note}/push")
+        for (sender, target), messages in batches.items():
+            plan.send_batch(sender, target, messages)
         cluster.execute(plan)
         frontier = new_frontier
     return received

@@ -15,6 +15,7 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from ..mpc.cluster import Cluster
 from .aggregate import aggregate, count_items
+from .columnar import EdgeBlock
 from .join import annotate_edges_with_vertex_values
 from .sort import SortLayout, sample_sort
 
@@ -92,7 +93,13 @@ class EdgeStore:
     def copy(self, name: str | None = None) -> "EdgeStore":
         target = name if name is not None else _fresh(f"{self.name}.copy")
         for machine in self.cluster.smalls:
-            machine.put(target, list(machine.get(self.name, [])))
+            data = machine.get(self.name, [])
+            if isinstance(data, EdgeBlock):
+                # Keep the columnar layout (columns are never mutated in
+                # place, so sharing them across stores is safe).
+                machine.put(target, EdgeBlock(data.columns, len(data)))
+            else:
+                machine.put(target, list(data))
         return EdgeStore(self.cluster, target)
 
     def drop(self) -> None:
@@ -126,18 +133,30 @@ class EdgeStore:
         }
         return self.cluster.gather(large_id, items_by_src, note=note)
 
-    def sort(self, key: Callable[[Any], Any], note: str = "sort") -> SortLayout:
-        return sample_sort(self.cluster, self.name, key, note=note)
+    def sort(
+        self,
+        key: Callable[[Any], Any] | int | tuple[int, ...],
+        note: str = "sort",
+        assume_unique: bool = False,
+    ) -> SortLayout:
+        """Sort the records (Claim 1).  A field-spec *key* (column index
+        or tuple of indices) rides the columnar routing path; see
+        :func:`~repro.primitives.sort.sample_sort`."""
+        return sample_sort(
+            self.cluster, self.name, key, note=note, assume_unique=assume_unique
+        )
 
     def aggregate(
         self,
         pair_fn: Callable[[Any], tuple[Hashable, Any] | None],
-        combine: Callable[[Any, Any], Any],
+        combine: Callable[[Any, Any], Any] | str,
         note: str = "aggregate",
     ) -> dict[Hashable, Any]:
         """Per-key aggregation (Claim 2): *pair_fn* maps a record to a
         ``(key, value)`` pair or ``None`` to skip it; results land on the
-        large machine."""
+        large machine.  *combine* accepts a named reducer (``"sum"`` /
+        ``"min"`` / ``"max"`` / ``"or"``), which unlocks the columnar
+        converge-cast; see :func:`~repro.primitives.aggregate.aggregate`."""
         pairs_by_machine = {
             machine.machine_id: [
                 pair

@@ -142,6 +142,8 @@ class NumpyBackend:
                 "install the optional extra with `pip install .[fast]`"
             )
         self._np = _np
+        # z -> (block, baby, giant) uint64 power tables; see pow_many.
+        self._pow_tables: dict[int, tuple[int, object, object]] = {}
 
     @staticmethod
     def _mulmod(a, b):
@@ -208,15 +210,11 @@ class NumpyBackend:
             tz = np.log2(safe.astype(np.float64)).astype(np.uint64)
         return np.where(arr == 0, np.uint64(61), tz).tolist()
 
-    def pow_many(
-        self, z: int, exponents: Sequence[int], max_exponent: int | None = None
-    ) -> list[int]:
+    def _pow_binary(self, z: int, exponents: Sequence[int]) -> list[int]:
         """Vectorized binary exponentiation: one masked multiply per
         exponent bit, with the scalar square chain ``z^(2^j)`` kept in
         Python ints."""
         np = self._np
-        if not exponents:
-            return []
         exps = np.asarray(exponents, dtype=np.uint64)
         out = np.ones(len(exps), dtype=np.uint64)
         z_pow = z % PRIME
@@ -226,6 +224,58 @@ class NumpyBackend:
                 out[mask] = self._mulmod(out[mask], np.uint64(z_pow))
             z_pow = z_pow * z_pow % PRIME
         return out.tolist()
+
+    def _power_table(self, z: int, length: int):
+        """``[z^0, z^1, ..., z^(length-1)] mod PRIME`` as uint64, built by
+        doubling: ``log2(length)`` vectorized multiplies total."""
+        np = self._np
+        arr = np.ones(1, dtype=np.uint64)
+        z_shift = z % PRIME  # z^len(arr), kept as a Python int
+        while len(arr) < length:
+            arr = np.concatenate([arr, self._mulmod(arr, np.uint64(z_shift))])
+            z_shift = z_shift * z_shift % PRIME
+        return arr[:length]
+
+    def pow_many(
+        self, z: int, exponents: Sequence[int], max_exponent: int | None = None
+    ) -> list[int]:
+        """``z ** e mod PRIME`` for every ``e`` in *exponents*.
+
+        Same baby-step/giant-step scheme as the pure backend (one cached
+        table per evaluation point, each power = two gathers and one
+        vectorized multiply), so batch after batch at the same level costs
+        O(1) numpy calls instead of one masked multiply per exponent bit.
+        Batches too small to justify a table take the binary path — the
+        results are bit-identical either way.
+        """
+        np = self._np
+        if not exponents:
+            return []
+        table = self._pow_tables.get(z)
+        if table is None:
+            hi = max_exponent if max_exponent is not None else max(exponents)
+            block = isqrt(max(hi, 1)) + 1
+            # Unlike the pure backend's 2*block scalar multiplies, the
+            # doubling build costs ~2*log2(block) vectorized ones, so a
+            # table pays off even for small first batches.
+            if block > _MAX_BLOCK:
+                return self._pow_binary(z, exponents)
+            baby = self._power_table(z, block)
+            giant = self._power_table(pow(z, block, PRIME), block + 1)
+            table = self._pow_tables[z] = (block, baby, giant)
+        block, baby, giant = table
+        exps = np.asarray(exponents, dtype=np.uint64)
+        bound = block * len(giant)
+        blk = np.uint64(block)
+        if int(exps.max()) < bound:
+            return self._mulmod(giant[exps // blk], baby[exps % blk]).tolist()
+        in_range = exps < np.uint64(bound)
+        clipped = np.where(in_range, exps, np.uint64(0))
+        vals = self._mulmod(giant[clipped // blk], baby[clipped % blk]).tolist()
+        return [
+            v if ok else pow(z, e, PRIME)
+            for v, ok, e in zip(vals, in_range.tolist(), exponents)
+        ]
 
 
 def available_backends() -> tuple[str, ...]:

@@ -1,0 +1,72 @@
+"""Golden pins for the huge-n regime scenarios (quick-mode sizing).
+
+The huge group is what the array-native primitive layer buys: sweeps at
+10-100x the ``large`` sizes, affordable because every primitive keeps
+its items in columnar record batches between ``send_indexed`` calls.
+Like the large pins, each test runs one scenario at quick sizing through
+the shared ``Runner`` (seed 0, the CLI default) and compares every row —
+including the ledger-derived ``*_words`` / ``*_max_memory`` columns —
+against values captured at pin time.  Because the default primitive path
+is columnar and the pins were captured from the object path's semantics,
+a green run here is also a cross-path identity check on real pipelines.
+
+Drift means the primitive layer changed model-level accounting, not just
+speed; regenerate deliberately or fix the regression.
+"""
+
+import pytest
+
+from repro.experiments import Runner, get_scenario
+
+GOLDEN_QUICK_ROWS = {
+    "table1_connectivity_huge": [
+        {"n": 1600, "m": 4725, "het_rounds": 2, "sub_rounds": 17,
+         "theory_het": "O(1)", "theory_sub": "~log n",
+         "het_words": 18769611, "het_max_memory": 3804800,
+         "sub_words": 258686, "sub_max_memory": 10473},
+    ],
+    "table1_mst_huge": [
+        {"m/n": 2, "het_steps": 0, "het_rounds": 19, "sub_iters": 7,
+         "sub_rounds": 102, "theory_het~loglog(m/n)": 1.0,
+         "theory_sub~log(n)": 11.550746785383243,
+         "het_words": 475665, "het_max_memory": 17796,
+         "sub_words": 1378338, "sub_max_memory": 15165},
+    ],
+    "table1_matching_huge": [
+        {"avg_degree": 4.0, "het_rounds": 38, "phase1_iters": 4,
+         "gu_charge": 3.8, "sub_rounds": 65, "theory_het~sqrt": 1.0,
+         "het_words": 308977, "het_max_memory": 7995,
+         "sub_words": 424498, "sub_max_memory": 8377},
+    ],
+    "workload_power_law_huge": [
+        {"regime": "heterogeneous", "n": 800, "m": 1596, "max_degree": 124,
+         "components": 89, "rounds": 4, "words": 7947991,
+         "max_memory": 1584800},
+        {"regime": "sublinear", "n": 800, "m": 1596, "max_degree": 124,
+         "components": 89, "rounds": 31, "words": 97696,
+         "max_memory": 4289},
+        {"regime": "near_linear", "n": 800, "m": 1596, "max_degree": 124,
+         "components": 89, "rounds": 2, "words": 2285252,
+         "max_memory": 1584800},
+        {"regime": "superlinear", "n": 800, "m": 1596, "max_degree": 124,
+         "components": 89, "rounds": 4, "words": 8023307,
+         "max_memory": 1584800},
+    ],
+}
+
+
+def assert_rows_match(measured, golden) -> None:
+    assert len(measured) == len(golden)
+    for row, expected in zip(measured, golden):
+        assert set(row) == set(expected)
+        for key, value in expected.items():
+            if isinstance(value, float):
+                assert row[key] == pytest.approx(value, rel=1e-9), key
+            else:
+                assert row[key] == value, key
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_QUICK_ROWS))
+def test_huge_scenario_quick_rows_are_pinned(name):
+    run = Runner(seed=0).run(get_scenario(name), quick=True)
+    assert_rows_match(run.rows, GOLDEN_QUICK_ROWS[name])

@@ -1,0 +1,432 @@
+"""Differential property suite: columnar primitives vs the object path.
+
+The tentpole invariant of the array-native primitive layer: for every
+primitive and every input, the columnar path (EdgeBlock record batches,
+vectorized bucketing/group-by) and the object path (per-item tuples)
+produce identical datasets AND identical ledgers — same round records,
+same word charges, same memory high-water — under both engine backends.
+Speed is the only permitted difference.
+
+Hypothesis drives randomized inputs through sort, aggregate and dedup;
+join and arrange run a curated scenario matrix covering every internal
+representation switch (flat blocks, nested fallback, mixed value types,
+sorted-mode keys, empties).  Kernel-level unit tests pin the columnar
+helpers against their obvious per-item references, and the zero-length
+regression block pins the PR's empty-batch fix: empty scatters must not
+open runs or burn rounds.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.primitives.columnar as columnar
+from repro.mpc import Cluster, ModelConfig, RoundPlan
+from repro.mpc.backend import available_engine_backends
+from repro.mpc.words import word_size_many
+from repro.primitives.aggregate import aggregate
+from repro.primitives.arrange import arrange_directed
+from repro.primitives.columnar import (
+    EdgeBlock,
+    ingest_rows,
+    pack_columns,
+    reduce_pairs,
+    stable_order,
+    value_column,
+)
+from repro.primitives.dedup import dedup_lightest
+from repro.primitives.join import annotate_edges_with_vertex_values
+from repro.primitives.sort import SortLayout, sample_sort
+
+HAS_NUMPY = columnar.HAS_NUMPY
+ENGINES = available_engine_backends()
+PATHS = ("object", "columnar")
+NUM_SMALL = 6
+
+
+def make_cluster(engine: str) -> Cluster:
+    config = ModelConfig(n=256, m=1024, num_small=NUM_SMALL)
+    return Cluster(config, rng=random.Random(7), backend=engine)
+
+
+def distribute(cluster: Cluster, name: str, rows) -> None:
+    for i, machine in enumerate(cluster.smalls):
+        machine.put(name, list(rows[i::NUM_SMALL]))
+
+
+def snapshot(cluster: Cluster, names) -> tuple:
+    datasets = {}
+    for name in names:
+        for machine in cluster.smalls:
+            data = machine.get(name, [])
+            rows = data.rows() if isinstance(data, EdgeBlock) else list(data)
+            datasets[(name, machine.machine_id)] = rows
+    ledger = [
+        (r.index, r.note, r.total_words, r.max_sent, r.max_received, r.items)
+        for r in cluster.ledger.records
+    ]
+    return datasets, ledger, cluster.ledger.memory_high_water
+
+
+def run_everyway(build_and_run, names):
+    """Run a primitive under every (path, engine) combination and assert
+    all snapshots are identical; returns the reference snapshot."""
+    reference = None
+    for path in PATHS:
+        for engine in ENGINES:
+            cluster = make_cluster(engine)
+            with columnar.forced_path(path):
+                extra = build_and_run(cluster)
+            snap = snapshot(cluster, names) + (extra,)
+            if reference is None:
+                reference = snap
+            else:
+                assert snap[0] == reference[0], (path, engine, "datasets")
+                assert snap[1] == reference[1], (path, engine, "ledger")
+                assert snap[2] == reference[2], (path, engine, "memory")
+                assert snap[3] == reference[3], (path, engine, "result")
+    return reference
+
+
+# ----------------------------------------------------------------------
+# Randomized differentials: sort / aggregate / dedup
+# ----------------------------------------------------------------------
+
+edge_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=-(10**6), max_value=10**6),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=edge_rows, key=st.sampled_from([(0, 1, 2), (2,), (1, 0), (2, 0, 1)]))
+def test_sample_sort_differential(rows, key):
+    def go(cluster):
+        distribute(cluster, "e", rows)
+        return sample_sort(cluster, "e", key=key).counts
+
+    run_everyway(go, ["e"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(-1000, 1000)), max_size=80
+    ),
+    reducer=st.sampled_from(["sum", "min", "max"]),
+)
+def test_aggregate_differential(pairs, reducer):
+    def go(cluster):
+        per = {
+            machine.machine_id: pairs[i::NUM_SMALL]
+            for i, machine in enumerate(cluster.smalls)
+        }
+        return sorted(aggregate(cluster, per, reducer).items())
+
+    run_everyway(go, [])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    flags=st.lists(st.tuples(st.integers(0, 20), st.booleans()), max_size=60)
+)
+def test_aggregate_or_differential(flags):
+    def go(cluster):
+        per = {
+            machine.machine_id: flags[i::NUM_SMALL]
+            for i, machine in enumerate(cluster.smalls)
+        }
+        return sorted(aggregate(cluster, per, "or").items())
+
+    run_everyway(go, [])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(st.integers(0, 25), st.integers(0, 10**6)), max_size=80
+    )
+)
+def test_dedup_differential(records):
+    def go(cluster):
+        distribute(cluster, "r", records)
+        dedup_lightest(cluster, "r", key=(0,), weight=(1,))
+        return None
+
+    run_everyway(go, ["r"])
+
+
+# ----------------------------------------------------------------------
+# Scenario-matrix differentials: join / arrange
+# ----------------------------------------------------------------------
+
+def _gen_edges(n_vertices, n_edges, seed, weighted=False, float_w=False):
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < n_edges:
+        u, v = rng.randrange(n_vertices), rng.randrange(n_vertices)
+        if u != v:
+            seen.add((min(u, v), max(u, v)))
+    edges = sorted(seen)
+    if weighted:
+        if float_w:
+            return [(u, v, rng.random()) for u, v in edges]
+        return [(u, v, rng.randrange(1000)) for u, v in edges]
+    return edges
+
+
+_NV = 40
+_JOIN_CASES = {
+    # int values, complete map (the rename pattern; default never used)
+    "int-complete": (
+        _gen_edges(_NV, 90, 1), {v: v * 3 for v in range(_NV)}, None),
+    # bool values with a default (the matching-flag pattern)
+    "bool-default": (
+        _gen_edges(_NV, 70, 2), {v: True for v in range(0, _NV, 3)}, False),
+    # default=None actually delivered -> per-machine nested fallback
+    "none-fallback": (
+        _gen_edges(_NV, 70, 2), {v: v for v in range(0, _NV, 2)}, None),
+    # tuple values cannot columnarize -> nested fallback
+    "tuple-fallback": (
+        _gen_edges(_NV, 60, 3), {v: (v, v + 1) for v in range(_NV)}, (0, 0)),
+    # weighted edges widen the flat representation
+    "weighted": (
+        _gen_edges(_NV, 80, 4, weighted=True),
+        {v: v % 7 for v in range(_NV)}, 0),
+    # float edge weights force the sorted (non-packed) sort mode
+    "float-weights": (
+        _gen_edges(_NV, 80, 5, weighted=True, float_w=True),
+        {v: v % 7 for v in range(_NV)}, 0),
+    # float values
+    "float-values": (
+        _gen_edges(_NV, 60, 6), {v: v / 8 for v in range(_NV)}, 0.0),
+    # mixed value types across machines -> global re-nest
+    "mixed-types": (
+        _gen_edges(_NV, 70, 7),
+        {0: True, 1: 5, **{v: v for v in range(2, _NV)}}, 0),
+    "empty": ([], {0: 1}, None),
+    "single-edge": ([(5, 9)], {5: 1, 9: 2}, None),
+}
+
+
+@pytest.mark.parametrize("case", sorted(_JOIN_CASES))
+def test_join_differential(case):
+    edges, values, default = _JOIN_CASES[case]
+
+    def go(cluster):
+        distribute(cluster, "edges", edges)
+        annotate_edges_with_vertex_values(
+            cluster, "edges", values, "annotated", default=default
+        )
+        return None
+
+    run_everyway(go, ["annotated"])
+
+
+_ARRANGE_CASES = {
+    # field-spec secondary on an int weight: packed sort mode
+    "weight-spec": (_gen_edges(_NV, 80, 11, weighted=True), 2),
+    # huge ranks overflow packing -> sorted mode + assume_unique
+    "big-ranks": (
+        [(u, v, random.Random(u * 97 + v).randrange(2**60))
+         for u, v in _gen_edges(_NV, 80, 12)], 2),
+    # default secondary: the full edge tuple
+    "default": (_gen_edges(_NV, 80, 13, weighted=True), None),
+    "unweighted-default": (_gen_edges(_NV, 80, 14), None),
+    # legacy callable secondaries stay on the object path everywhere
+    "legacy-callable": (
+        _gen_edges(_NV, 80, 11, weighted=True), lambda edge: edge[2]),
+    "empty": ([], 2),
+}
+
+
+@pytest.mark.parametrize("case", sorted(_ARRANGE_CASES))
+def test_arrange_differential(case):
+    edges, secondary = _ARRANGE_CASES[case]
+
+    def go(cluster):
+        distribute(cluster, "edges", edges)
+        arrangement = arrange_directed(
+            cluster, "edges", "edges.dir", secondary_key=secondary
+        )
+        # Consumers index nested records; the primitive must re-nest.
+        for machine in cluster.smalls:
+            assert not isinstance(machine.get("edges.dir", []), EdgeBlock)
+        return (
+            sorted(arrangement.out_degrees.items()),
+            sorted(arrangement.holders.items()),
+            arrangement.layout.counts,
+        )
+
+    run_everyway(go, ["edges.dir"])
+
+
+def test_arrange_spec_matches_legacy_callable():
+    """secondary_key=2 (field spec) and the equivalent callable must agree
+    on records, degrees and the ledger — specs are a drop-in upgrade."""
+    edges = _gen_edges(_NV, 80, 11, weighted=True)
+
+    def go(secondary):
+        cluster = make_cluster(ENGINES[0])
+        distribute(cluster, "edges", edges)
+        with columnar.forced_path("object"):
+            arrangement = arrange_directed(
+                cluster, "edges", "edges.dir", secondary_key=secondary
+            )
+        return snapshot(cluster, ["edges.dir"]) + (
+            sorted(arrangement.out_degrees.items()),
+        )
+
+    assert go(2) == go(lambda edge: edge[2])
+
+
+# ----------------------------------------------------------------------
+# Kernel units: the columnar helpers vs per-item references
+# ----------------------------------------------------------------------
+
+pytestmark_np = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+@pytestmark_np
+@settings(max_examples=30, deadline=None)
+@given(rows=edge_rows, fields=st.sampled_from([(0,), (2, 1), (0, 1, 2)]))
+def test_stable_order_matches_python_sort(rows, fields):
+    block = ingest_rows(rows)
+    if block is None:
+        assert not rows
+        return
+    order = stable_order(block, fields)
+    expected = sorted(
+        range(len(rows)), key=lambda i: tuple(rows[i][f] for f in fields)
+    )
+    assert list(order) == expected
+
+
+@pytestmark_np
+@given(rows=edge_rows, splitter=st.tuples(
+    st.integers(-60, 60), st.integers(-5, 45), st.integers(-(10**6), 10**6)
+))
+@settings(max_examples=30, deadline=None)
+def test_pack_columns_preserves_field_order(rows, splitter):
+    block = ingest_rows(rows)
+    if block is None:
+        return
+    packed = pack_columns(block.columns, extra_keys=[splitter])
+    if packed is None:  # spans overflowed; nothing to check
+        return
+    packed_rows, packed_extras = packed
+    ranks = sorted(range(len(rows)), key=lambda i: int(packed_rows[i]))
+    expected = sorted(range(len(rows)), key=lambda i: rows[i])
+    assert ranks == expected
+    # Cross comparisons against packed extras stay exact.
+    for i, row in enumerate(rows):
+        assert (row < splitter) == bool(packed_rows[i] < packed_extras[0])
+
+
+@pytestmark_np
+@settings(max_examples=30, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(-500, 500)), min_size=1,
+        max_size=50
+    ),
+    kind=st.sampled_from(["sum", "min", "max"]),
+)
+def test_reduce_pairs_matches_dict_loop(pairs, kind):
+    import numpy as np
+
+    keys = np.array([k for k, _ in pairs], dtype=np.int64)
+    values = np.array([v for _, v in pairs], dtype=np.int64)
+    out_keys, out_values = reduce_pairs(keys, values, kind)
+    expected: dict[int, int] = {}
+    op = {"sum": lambda a, b: a + b, "min": min, "max": max}[kind]
+    for k, v in pairs:
+        expected[k] = op(expected[k], v) if k in expected else v
+    assert dict(zip(out_keys.tolist(), out_values.tolist())) == expected
+
+
+def test_machine_of_rank_many_matches_scalar():
+    layout = SortLayout(machine_ids=(3, 5, 9), counts=(4, 0, 7))
+    ranks = list(range(11))
+    assert layout.machine_of_rank_many(ranks) == [
+        layout.machine_of_rank(r) for r in ranks
+    ]
+    assert layout.machine_of_rank_many([]) == []
+    with pytest.raises(IndexError):
+        layout.machine_of_rank_many([11])
+
+
+@pytestmark_np
+def test_value_column_types():
+    import numpy as np
+
+    assert value_column([]) is None
+    assert value_column([1, 2, 3]).dtype == np.int64
+    assert value_column([True, False]).dtype == np.bool_
+    assert value_column([0.5, 1.5]).dtype == np.float64
+    assert value_column([1, "x"]) is None           # mixed kinds
+    assert value_column([float("nan")]) is None     # non-finite
+    assert value_column([2**63]) is None            # int64 overflow
+    assert value_column([(1, 2)]) is None           # non-scalar
+
+
+@pytestmark_np
+def test_ingest_rows_rejects_unrepresentable():
+    assert ingest_rows([(1, 2), (3, 4)]) is not None
+    assert ingest_rows([]) is None
+    assert ingest_rows([(1, 2), (3,)]) is None           # ragged
+    assert ingest_rows([(1, 2**64)]) is None             # overflow
+    assert ingest_rows([(1, float("inf"))]) is None      # non-finite
+    assert ingest_rows([[1, 2]]) is None                 # non-tuple rows
+
+
+# ----------------------------------------------------------------------
+# Zero-length batches: no runs, no rounds, zero words
+# ----------------------------------------------------------------------
+
+@pytestmark_np
+def test_word_size_many_empty_arrays_are_zero_words():
+    import numpy as np
+
+    for dtype in (np.int64, np.float64, np.bool_, np.dtype("U4"), object):
+        assert word_size_many(np.empty(0, dtype=dtype)) == 0
+
+
+@pytestmark_np
+@pytest.mark.parametrize("engine", ENGINES)
+def test_send_indexed_empty_arrays_open_no_run(engine):
+    import numpy as np
+
+    cluster = make_cluster(engine)
+    plan = cluster.plan("empty-scatter")
+    plan.send_indexed(
+        cluster.small_ids[0],
+        np.empty(0, dtype=np.int64),
+        np.empty((0, 3), dtype=np.int64),
+    )
+    assert plan.is_empty
+    rounds_before = cluster.ledger.rounds
+    cluster.execute(plan)
+    # An all-empty plan costs no communication round.
+    assert cluster.ledger.rounds == rounds_before
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_empty_cluster_primitives_cost_identically(engine):
+    """sample_sort/aggregate on machines holding nothing: the columnar
+    path must neither crash nor charge differently than the object path."""
+    def go(path):
+        cluster = make_cluster(engine)
+        distribute(cluster, "e", [])
+        with columnar.forced_path(path):
+            layout = sample_sort(cluster, "e", key=(0, 1))
+            result = aggregate(cluster, {m.machine_id: [] for m in cluster.smalls}, "sum")
+        return snapshot(cluster, ["e"]) + (layout.counts, sorted(result))
+
+    assert go("object") == go("columnar")
