@@ -127,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="results directory (default benchmarks/results, "
                         "or benchmarks/results/quick with --quick)")
     p.add_argument("--seed", type=int, default=0, help="runner base seed")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any selected scenario run recorded "
+                        "capacity violations in its artifact totals")
 
     p = sub.add_parser(
         "report",
@@ -196,6 +199,20 @@ def _bench_command(args) -> int:
         if suite is not None:
             print(f"wrote suite roll-up to {suite}")
     print(f"wrote {len(selected)} scenario artifact(s) to {results_dir}")
+    if args.strict:
+        violating = [
+            (run.scenario.name, run.totals["violations"])
+            for run in runs
+            if run.totals["violations"] > 0
+        ]
+        if violating:
+            for name, count in violating:
+                print(
+                    f"bench --strict: {name} recorded {count} capacity "
+                    "violation(s)",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 

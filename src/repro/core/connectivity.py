@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from ..graph.graph import Graph
 from ..mpc import Cluster, ModelConfig
+from ..mpc.words import word_size
 from ..primitives.aggregate import aggregate
 from ..primitives.broadcast import broadcast
 from ..primitives.edgestore import EdgeStore
@@ -94,6 +95,14 @@ def sketch_components(
     # the duration of the computation so the memory ledger (and strict
     # mode) sees the n * polylog(n) sketch footprint Theorem C.1 budgets.
     dst_machine = cluster.machine(dst)
+    # Throttle hook (advisory): the assembled bank is resident working
+    # state — re-scheduling traffic cannot shrink it, so a bank past the
+    # headroom line is surfaced to the controller's advise channel (and
+    # the artifact's throttle block) rather than "fixed" silently.
+    if cluster.throttle is not None:
+        cluster.throttle.note_bank(
+            word_size(bank), dst_machine.capacity, note=f"{note}#bank"
+        )
     dst_machine.put(f"{note}#bank", bank)
     try:
         uf, _ = bank_boruvka(bank)

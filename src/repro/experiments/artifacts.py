@@ -17,9 +17,18 @@ Schema ``repro.bench/2`` — one JSON object per scenario run, written to
   "columns":      ["m/n", "het_rounds", ...],
   "rows":         [{"m/n": 2, "het_rounds": 9, ...}, ...],
   "totals":       {"rounds": 128, "words": 230358,
-                   "max_memory": 4888, "violations": 12}
+                   "max_memory": 4888, "violations": 12},
+  "throttle":     {"mode": "enforce", "headroom": 0.9, ...}  # optional
 }
 ```
+
+The ``throttle`` block is **optional** (additive — the schema version is
+unchanged) and appears only when a scenario ran with a throttle
+controller attached (``ModelConfig.throttle`` mode ``advise`` or
+``enforce``): it is the summed
+:meth:`~repro.mpc.throttle.ThrottleController.summary` digest over the
+sweep.  Scenarios without throttling produce byte-identical artifacts to
+builds that predate the block.
 
 Changes from ``repro.bench/1``:
 
@@ -55,6 +64,7 @@ from typing import Any
 __all__ = [
     "SCHEMA_VERSION",
     "SUITE_SCHEMA_VERSION",
+    "THROTTLE_COUNT_KEYS",
     "ArtifactError",
     "artifact_path",
     "load_artifact",
@@ -149,7 +159,41 @@ def validate_artifact(obj: Any, source: str = "artifact") -> dict[str, Any]:
                     f"{type(value).__name__}"
                 )
     _check_totals(obj["totals"], source)
+    if "throttle" in obj:
+        _check_throttle(obj["throttle"], source)
     return obj
+
+
+#: Counter keys of the optional ``throttle`` block (summed over the sweep).
+THROTTLE_COUNT_KEYS = (
+    "splits",
+    "extra_rounds",
+    "overload_rounds",
+    "fanout_events",
+    "sample_rate_events",
+    "bank_events",
+    "events",
+)
+
+
+def _check_throttle(block: Any, source: str) -> None:
+    if not isinstance(block, dict):
+        raise ArtifactError(f"{source}: 'throttle' must be an object")
+    mode = block.get("mode")
+    if mode not in ("advise", "enforce"):
+        raise ArtifactError(
+            f"{source}: throttle mode must be 'advise' or 'enforce', got {mode!r}"
+        )
+    headroom = block.get("headroom")
+    if not isinstance(headroom, (int, float)) or isinstance(headroom, bool):
+        raise ArtifactError(f"{source}: throttle headroom must be a number")
+    for key in THROTTLE_COUNT_KEYS:
+        value = block.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ArtifactError(
+                f"{source}: throttle key {key!r} must be an integer, "
+                f"got {type(value).__name__}"
+            )
 
 
 def validate_suite(obj: Any, source: str = "suite") -> dict[str, Any]:

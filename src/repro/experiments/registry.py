@@ -57,7 +57,10 @@ from ..local.baswana_sen import baswana_sen
 from ..local.mincut import min_cut_value
 from ..local.mst import f_light_edges, kruskal, kruskal_edges
 from ..mpc import Cluster, ModelConfig
+from ..primitives.broadcast import broadcast
+from ..primitives.disseminate import disseminate, holders_by_key
 from ..primitives.edgestore import EdgeStore
+from ..primitives.sort import sample_sort
 from ..sketches import GraphSketchSpec, VertexSketch, components_from_sketches
 from .scenario import Scenario, regime_config
 
@@ -1339,4 +1342,273 @@ _register(Scenario(
     columns=_WORKLOAD_COLUMNS,
     check=_check_workload,
     paper_ref="Theorem C.1 across Section 2 / Section 6 regimes, huge-n",
+))
+
+
+# ----------------------------------------------------------------------
+# Robustness: adaptive communication throttling on adversarial inputs
+# ----------------------------------------------------------------------
+# Each scenario builds an adversarially dense workload, then *calibrates*
+# the capacity window against it: a first run under the default generous
+# capacities (throttle mode "advise") measures the workload's peak
+# per-round load fraction, and the scenario tightens ``ModelConfig.
+# constant`` so that the same peak lands at ``_ROBUSTNESS_BREACH`` times
+# the (smallest binding) capacity — over the hard limit, inside 2x of it.
+# Three arms then run in that tight window with identical inputs and
+# seeds: ``off`` records the violations an oblivious protocol incurs,
+# ``advise`` must behave byte-identically to ``off`` while logging the
+# throttling decisions it *would* take, and ``enforce`` must finish with
+# **zero** violations at a round inflation of at most 2x (the split of an
+# over-budget round lands at ``<= breach / headroom`` chunks).  Only the
+# enforce arm's ledger feeds the artifact totals, so ``bench --strict``
+# holds this group to zero recorded violations; the off arm's toll is
+# reported as plain row columns.
+#
+# The workloads are transport-heavy by design (payloads broadcast or
+# disseminated but not stored): plan splitting re-schedules traffic, it
+# cannot shrink resident state, so a comm-only breach window is exactly
+# the regime the controller is built for (memory stays ~an order of
+# magnitude below capacity — asserted via the calibration digest).
+
+_ROBUSTNESS_BREACH = 1.3
+_ROBUSTNESS_DEFAULT_CONSTANT = 4.0
+
+
+def _run_throttle_arm(pipeline, n, m, gamma, constant, mode, seed):
+    config = ModelConfig.heterogeneous(
+        n=n, m=m, gamma=gamma, constant=constant
+    ).with_throttle(mode)
+    cluster = Cluster(config, rng=random.Random(seed))
+    output = pipeline(cluster)
+    return cluster, output
+
+
+def _measure_robustness_point(n, gamma, make_pipeline):
+    """The shared calibrate-then-three-arms protocol (see section comment)."""
+    m, pipeline = make_pipeline(n)
+    seed = n + 1
+
+    calib, _ = _run_throttle_arm(
+        pipeline, n, m, gamma, _ROBUSTNESS_DEFAULT_CONSTANT, "advise", seed
+    )
+    peak = calib.throttle.peak_traffic_frac
+    mem_peak = calib.throttle.peak_memory_frac
+    assert peak > 0.0, "calibration run moved no words"
+    # Comm-only breach window: tightening to put *traffic* at BREACH must
+    # leave *memory* clearly inside the hard limit.
+    assert mem_peak < 0.7 * peak, (
+        f"workload is memory-bound (mem {mem_peak:.3f} vs traffic {peak:.3f}); "
+        "splitting could not fix its violations"
+    )
+    tight = _ROBUSTNESS_DEFAULT_CONSTANT * peak / _ROBUSTNESS_BREACH
+
+    off, off_out = _run_throttle_arm(pipeline, n, m, gamma, tight, "off", seed)
+    adv, adv_out = _run_throttle_arm(pipeline, n, m, gamma, tight, "advise", seed)
+    enf, enf_out = _run_throttle_arm(pipeline, n, m, gamma, tight, "enforce", seed)
+
+    off_violations = list(off.ledger.violations)
+    assert off_violations, "the tight window must breach without throttling"
+    assert all(
+        v.kind in ("sent", "received") for v in off_violations
+    ), "robustness scenarios must breach communication budgets only"
+    assert not enf.ledger.violations, (
+        "enforce mode must keep every round under the hard limits: "
+        f"{list(enf.ledger.violations)[:3]}"
+    )
+    # Advise mode observes but never intervenes: same behaviour as off,
+    # and it must have logged at least one would-be decision.
+    assert adv.ledger.summary() == off.ledger.summary()
+    assert adv.throttle.events, "advise arm logged no throttling decisions"
+    # Graceful degradation, not silent degradation: identical outputs and
+    # total words across all three arms, bounded round inflation.
+    assert off_out == adv_out == enf_out
+    assert off.ledger.total_words == adv.ledger.total_words == enf.ledger.total_words
+    assert enf.ledger.rounds <= 2 * off.ledger.rounds, (
+        f"round inflation {enf.ledger.rounds}/{off.ledger.rounds} exceeds 2x"
+    )
+
+    enf_summary = enf.throttle.summary()
+    return {
+        "n": n,
+        "m": m,
+        "peak_frac": round(peak, 3),
+        "cap_small": off.config.small_capacity,
+        "off_rounds": off.ledger.rounds,
+        "off_violations": len(off_violations),
+        "advise_events": len(adv.throttle.events),
+        "enf_rounds": enf.ledger.rounds,
+        "enf_violations": len(enf.ledger.violations),
+        "inflation": round(enf.ledger.rounds / max(1, off.ledger.rounds), 3),
+        "splits": enf_summary["splits"],
+        "_ledgers": {"enforce": enf.ledger},
+        "_throttle": enf_summary,
+    }
+
+
+_ROBUSTNESS_COLUMNS = (
+    "n", "m", "peak_frac", "cap_small", "off_rounds", "off_violations",
+    "advise_events", "enf_rounds", "enf_violations", "inflation", "splits",
+)
+
+
+def _check_robustness(rows) -> None:
+    assert all(row["off_violations"] >= 1 for row in rows)
+    assert all(row["enf_violations"] == 0 for row in rows)
+    assert all(row["inflation"] <= 2.0 for row in rows)
+
+
+def _measure_robustness_near_clique(n: int, rng: random.Random, quick: bool) -> dict:
+    """Hot-vertex list pushed to every machine of a near-clique: each
+    relay of the broadcast tree forwards ``fanout`` copies of an
+    ~n-word payload in one round — the classic fan-out burst."""
+
+    def make(n: int):
+        local = random.Random(n)
+        graph = generators.near_clique_graph(n, n // 4, local)
+        degrees = [0] * n
+        for edge in graph.edges:
+            degrees[edge[0]] += 1
+            degrees[edge[1]] += 1
+        hotlist = tuple(v for v in range(n) if degrees[v] >= n // 2)
+        edges = [(e[0], e[1]) for e in graph.edges]
+
+        def pipeline(cluster):
+            cluster.distribute_edges(edges)
+            rounds = broadcast(
+                cluster, cluster.large.machine_id, hotlist, cluster.small_ids,
+                note="hotlist",
+            )
+            return (len(hotlist), rounds >= 1)
+
+        return graph.m, pipeline
+
+    return _measure_robustness_point(n, 0.5, make)
+
+
+_register(Scenario(
+    name="robustness_near_clique",
+    title="Throttled hot-list broadcast over a near-clique "
+          "(off / advise / enforce in a tight capacity window)",
+    group="robustness",
+    problem="connectivity",
+    graph_family="near_clique",
+    regimes=("heterogeneous",),
+    axis="n",
+    points=(48, 64, 96),
+    quick_points=(48, 64),
+    measure=_measure_robustness_near_clique,
+    columns=_ROBUSTNESS_COLUMNS,
+    check=_check_robustness,
+    paper_ref="Section 2 capacity budgets under adversarial density",
+))
+
+
+def _measure_robustness_heavy_components(
+    n: int, rng: random.Random, quick: bool
+) -> dict:
+    """Two dissemination waves (component labels, then component sizes)
+    over planted heavy components: the per-key trees concentrate their
+    roots on the low machine ids, whose push rounds relay every tree at
+    once — the hot-spot sender burst."""
+
+    def make(n: int):
+        local = random.Random(n)
+        graph = generators.planted_components_graph(n, 4, 2 * n, local)
+        edges = [(e[0], e[1]) for e in graph.edges]
+        labels = component_labels(graph)
+        sizes: dict[int, int] = {}
+        for v in range(n):
+            sizes[labels[v]] = sizes.get(labels[v], 0) + 1
+
+        def pipeline(cluster):
+            cluster.distribute_edges(edges)
+            holders = holders_by_key(cluster, "edges", lambda e: (e[0], e[1]))
+            wave1 = disseminate(
+                cluster, {v: labels[v] for v in range(n)}, holders, note="labels"
+            )
+            wave2 = disseminate(
+                cluster,
+                {v: sizes[labels[v]] for v in range(n)},
+                holders,
+                note="sizes",
+            )
+            return (
+                sorted((mid, len(got)) for mid, got in wave1.items()),
+                sorted((mid, len(got)) for mid, got in wave2.items()),
+            )
+
+        return graph.m, pipeline
+
+    return _measure_robustness_point(n, 0.5, make)
+
+
+_register(Scenario(
+    name="robustness_heavy_components",
+    title="Throttled label dissemination over planted heavy components "
+          "(off / advise / enforce in a tight capacity window)",
+    group="robustness",
+    problem="connectivity",
+    graph_family="planted_components",
+    regimes=("heterogeneous",),
+    axis="n",
+    points=(48, 64, 96),
+    quick_points=(48, 64),
+    measure=_measure_robustness_heavy_components,
+    columns=_ROBUSTNESS_COLUMNS,
+    check=_check_robustness,
+    paper_ref="Claim 3 dissemination under adversarial concentration",
+))
+
+
+def _measure_robustness_power_law_gamma(
+    n: int, rng: random.Random, quick: bool
+) -> dict:
+    """Degree-census converge onto the large machine of a power-law graph
+    at the regime-boundary ``gamma = 0.75`` (few, fat small machines),
+    followed by a sample-sort of the edges: the census gather is the
+    fan-in burst at the large machine; the sort runs inside budget and
+    exercises the sample-rate throttle hook after the breach."""
+
+    def make(n: int):
+        local = random.Random(n)
+        graph = generators.power_law_graph(n, local, exponent=2.2, avg_degree=6.0)
+        edges = [(e[0], e[1]) for e in graph.edges]
+
+        def pipeline(cluster):
+            cluster.distribute_edges(edges)
+            pairs_by_src = {}
+            for machine in cluster.smalls:
+                counts: dict[int, int] = {}
+                for u, v in machine.get("edges", []):
+                    counts[u] = counts.get(u, 0) + 1
+                    counts[v] = counts.get(v, 0) + 1
+                pairs_by_src[machine.machine_id] = sorted(counts.items())
+            large = cluster.large.machine_id
+            received = cluster.gather(large, pairs_by_src, note="census")
+            census: dict[int, int] = {}
+            for v, c in received:
+                census[v] = census.get(v, 0) + c
+            layout = sample_sort(cluster, "edges", key=(0, 1), note="rank")
+            return (sorted(census.items()), tuple(layout.counts))
+
+        return graph.m, pipeline
+
+    return _measure_robustness_point(n, 0.75, make)
+
+
+_register(Scenario(
+    name="robustness_power_law_gamma",
+    title="Throttled degree census + sort on a power-law graph at "
+          "boundary gamma (off / advise / enforce in a tight capacity window)",
+    group="robustness",
+    problem="sort",
+    graph_family="power_law",
+    regimes=("heterogeneous",),
+    axis="n",
+    points=(64, 96, 128),
+    quick_points=(64, 96),
+    measure=_measure_robustness_power_law_gamma,
+    columns=_ROBUSTNESS_COLUMNS,
+    check=_check_robustness,
+    paper_ref="Claim 5 sorting + Claim 2 aggregation at the gamma boundary",
 ))

@@ -37,6 +37,7 @@ _GROUP_HEADINGS = {
     "workload": "Workload matrix",
     "large": "Large-n regime",
     "huge": "Huge-n regime",
+    "robustness": "Robustness: adaptive throttling",
 }
 
 

@@ -27,6 +27,7 @@ from ..analysis import render_table
 from .artifacts import (
     SCHEMA_VERSION,
     SUITE_SCHEMA_VERSION,
+    THROTTLE_COUNT_KEYS,
     TOTAL_KEYS,
     artifact_path,
     suite_path,
@@ -43,6 +44,7 @@ __all__ = [
     "ScenarioRun",
     "ledger_columns",
     "measure_point",
+    "merge_throttle",
 ]
 
 
@@ -62,11 +64,35 @@ def ledger_columns(ledger: Any, prefix: str = "") -> dict[str, Any]:
 @dataclass
 class MeasuredPoint:
     """One sweep point's outcome: the row, the ledger-derived columns (in
-    first-seen order), and the model-level totals for the suite roll-up."""
+    first-seen order), the model-level totals for the suite roll-up, and
+    the throttle digest (``None`` for unthrottled measurements)."""
 
     row: dict[str, Any]
     ledger_cols: dict[str, Any]
     totals: dict[str, int]
+    throttle: dict[str, Any] | None = None
+
+
+def merge_throttle(
+    blocks: Iterable[dict[str, Any] | None]
+) -> dict[str, Any] | None:
+    """Fold per-point throttle digests into one artifact block: the policy
+    fields come from the first digest (one policy per scenario), counters
+    are summed and the peak load fractions maxed over the sweep.  Returns
+    ``None`` when no point produced a digest — the artifact then carries
+    no ``throttle`` key at all, keeping unthrottled artifacts
+    byte-identical to pre-throttle builds."""
+    blocks = [block for block in blocks if block]
+    if not blocks:
+        return None
+    merged: dict[str, Any] = {
+        key: blocks[0][key] for key in ("mode", "headroom", "window")
+    }
+    for key in THROTTLE_COUNT_KEYS:
+        merged[key] = sum(int(block.get(key, 0)) for block in blocks)
+    for key in ("peak_traffic_frac", "peak_memory_frac"):
+        merged[key] = round(max(float(block.get(key, 0.0)) for block in blocks), 6)
+    return merged
 
 
 def measure_point(
@@ -80,6 +106,7 @@ def measure_point(
     rng = random.Random(f"{seed}:{scenario.name}:{index}")
     row = scenario.measure(point, rng, quick)
     ledgers = row.pop("_ledgers", None) or {}
+    throttle = row.pop("_throttle", None)
     ledger_cols: dict[str, Any] = {}
     totals = dict.fromkeys(TOTAL_KEYS, 0)
     for prefix, ledger in ledgers.items():
@@ -89,7 +116,9 @@ def measure_point(
         totals["words"] += summary["total_words"]
         totals["violations"] += summary["violations"]
         totals["max_memory"] = max(totals["max_memory"], summary["max_memory"])
-    return MeasuredPoint(row=row, ledger_cols=ledger_cols, totals=totals)
+    return MeasuredPoint(
+        row=row, ledger_cols=ledger_cols, totals=totals, throttle=throttle
+    )
 
 
 def _pool_measure(name: str, index: int, seed: int, quick: bool) -> MeasuredPoint:
@@ -111,6 +140,7 @@ class ScenarioRun:
     quick: bool
     columns: tuple[str, ...] = field(default=())
     totals: dict[str, int] = field(default_factory=lambda: dict.fromkeys(TOTAL_KEYS, 0))
+    throttle: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -118,7 +148,7 @@ class ScenarioRun:
 
     def to_artifact(self) -> dict[str, Any]:
         s = self.scenario
-        return {
+        artifact = {
             "schema": SCHEMA_VERSION,
             "scenario": s.name,
             "title": s.title,
@@ -132,6 +162,9 @@ class ScenarioRun:
             "rows": self.rows,
             "totals": dict(self.totals),
         }
+        if self.throttle is not None:
+            artifact["throttle"] = dict(self.throttle)
+        return artifact
 
     def render_text(self) -> str:
         """The legacy text-table artifact, now carrying a schema header so
@@ -187,6 +220,7 @@ class Runner:
         run = ScenarioRun(
             scenario=scenario, rows=rows, quick=quick, columns=columns,
             totals=totals,
+            throttle=merge_throttle(outcome.throttle for outcome in measured),
         )
         if scenario.check is not None and not quick:
             scenario.check(rows)

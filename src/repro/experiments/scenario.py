@@ -25,8 +25,13 @@ __all__ = ["GROUPS", "REGIMES", "Scenario", "regime_config"]
 #: Scenario groups, in the order the generated reproduction guide lists
 #: them.  ``large`` is the large-n regime opened by the columnar round
 #: engine: the Table-1 flagship problems and the workload matrix at
-#: 10-50x the classic sweep sizes.
-GROUPS = ("table1", "figure", "theorem", "ablation", "workload", "large", "huge")
+#: 10-50x the classic sweep sizes.  ``robustness`` pins the adaptive
+#: throttling layer: adversarial inputs in a deliberately tight capacity
+#: window, run with throttling off / advise / enforce.
+GROUPS = (
+    "table1", "figure", "theorem", "ablation", "workload", "large", "huge",
+    "robustness",
+)
 
 #: Named ``ModelConfig`` factories — the regimes a scenario can declare.
 #: Each takes the workload's ``n``/``m`` (plus regime-specific keywords)

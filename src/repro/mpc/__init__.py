@@ -69,14 +69,21 @@ from .cluster import Cluster, Message
 from .config import ModelConfig
 from .errors import (
     AlgorithmFailure,
+    CapacityExceeded,
     CommunicationLimitExceeded,
     MemoryLimitExceeded,
     MPCError,
     ProtocolError,
 )
-from .ledger import NoteStats, RoundLedger, RoundRecord
+from .ledger import NoteStats, RoundLedger, RoundRecord, Violation
 from .machine import LARGE, SMALL, Machine
 from .plan import RoundPlan
+from .throttle import (
+    PeakHoldLoadEstimator,
+    ThrottleController,
+    ThrottleEvent,
+    ThrottlePolicy,
+)
 from .words import word_size, word_size_many
 
 __all__ = [
@@ -98,8 +105,14 @@ __all__ = [
     "available_engine_backends",
     "get_engine_backend",
     "MPCError",
+    "CapacityExceeded",
     "MemoryLimitExceeded",
     "CommunicationLimitExceeded",
     "ProtocolError",
     "AlgorithmFailure",
+    "Violation",
+    "ThrottlePolicy",
+    "ThrottleController",
+    "ThrottleEvent",
+    "PeakHoldLoadEstimator",
 ]

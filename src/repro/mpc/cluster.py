@@ -37,9 +37,10 @@ from typing import Any, Callable, Iterable, Sequence
 from .backend import get_engine_backend
 from .config import ModelConfig
 from .errors import CommunicationLimitExceeded, MemoryLimitExceeded, ProtocolError
-from .ledger import RoundLedger
+from .ledger import RoundLedger, Violation
 from .machine import LARGE, SMALL, Machine
 from .plan import Message, RoundPlan
+from .throttle import ThrottleController
 
 __all__ = ["Cluster", "Message"]
 
@@ -63,21 +64,38 @@ class Cluster:
         # self.rng use later can never shift where the input lands.
         self._placement_rng = random.Random(repr(self.rng.getstate()))
         self.ledger = RoundLedger()
+        # Machines report the upcoming round index so strict-mode memory
+        # failures at `put`/`touch` carry *when* the breach happened.
+        round_source = lambda: self.ledger.rounds + 1  # noqa: E731
 
         self.smalls: list[Machine] = [
-            Machine(i, SMALL, config.small_capacity, strict=config.strict)
+            Machine(
+                i, SMALL, config.small_capacity, strict=config.strict,
+                round_source=round_source,
+            )
             for i in range(config.num_small)
         ]
         self.larges: list[Machine] = [
             Machine(
                 config.num_small + j, LARGE, config.large_capacity,
-                strict=config.strict,
+                strict=config.strict, round_source=round_source,
             )
             for j in range(config.num_large)
         ]
         self.machines: dict[int, Machine] = {
             machine.machine_id: machine for machine in self.smalls + self.larges
         }
+        #: Throttle controller (``repro.mpc.throttle``); ``None`` when the
+        #: config's policy is ``off`` so the hot path pays nothing.
+        self.throttle: ThrottleController | None = (
+            ThrottleController(
+                config.throttle,
+                {mid: machine.capacity for mid, machine in self.machines.items()},
+            )
+            if config.throttle.enabled
+            else None
+        )
+        self._memory_frac = 0.0
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -112,7 +130,33 @@ class Cluster:
         return RoundPlan(note=note, backend=self.engine_backend)
 
     def execute(self, plan: RoundPlan) -> dict[int, list[Any]]:
-        """Run *plan* as one synchronous round.
+        """Run *plan* as one synchronous round (or several, throttled).
+
+        With throttling enforced (``config.throttle.mode == "enforce"``)
+        a plan whose per-machine volumes would breach the headroom
+        budgets is first split at the run-column boundary
+        (:meth:`~repro.mpc.throttle.ThrottleController.split_plan`) and
+        executed as consecutive rounds — same payloads, same
+        per-destination order, each round within budget; the extra
+        rounds are the (ledger-visible) price of staying under the hard
+        limits.  Otherwise the plan runs as exactly one round.  Returns
+        the inbox of each machine that received at least one item.
+        """
+        if plan.is_empty:
+            return {}
+        controller = self.throttle
+        if controller is not None and controller.policy.enforcing:
+            chunks = controller.split_plan(plan)
+            if len(chunks) > 1:
+                inboxes: dict[int, list[Any]] = {}
+                for chunk in chunks:
+                    for dst, items in self._execute_round(chunk).items():
+                        inboxes.setdefault(dst, []).extend(items)
+                return inboxes
+        return self._execute_round(plan)
+
+    def _execute_round(self, plan: RoundPlan) -> dict[int, list[Any]]:
+        """Run *plan* as exactly one synchronous round.
 
         The single grouped pass: per-run word totals come from the plan's
         :meth:`~repro.mpc.plan.RoundPlan.run_words` cache (each run sized
@@ -122,9 +166,9 @@ class Cluster:
         each machine's capacity as part of the round.  In strict mode a
         violation raises :class:`CommunicationLimitExceeded` (traffic) or
         :class:`MemoryLimitExceeded` (stored state) before the round is
-        recorded, otherwise it is recorded in the ledger.  An empty plan
-        is a no-op: no data moves, so no round is charged.  Returns the
-        inbox of each machine that received at least one item.
+        recorded, otherwise it is recorded in the ledger as a typed
+        :class:`~repro.mpc.ledger.Violation`.  An empty plan is a no-op:
+        no data moves, so no round is charged.
         """
         if plan.is_empty:
             return {}
@@ -146,25 +190,42 @@ class Cluster:
         inboxes = {dst: items_ for dst, items_ in plan.deliveries()}
 
         note = plan.note
-        violations: list[str] = []
+        next_round = self.ledger.rounds + 1
+        violations: list[Violation] = []
         for mid, words in sent.items():
-            if words > self.machines[mid].capacity:
+            capacity = self.machines[mid].capacity
+            if words > capacity:
                 violations.append(
-                    f"round {self.ledger.rounds + 1} [{note}]: machine {mid} "
-                    f"sent {words} > capacity {self.machines[mid].capacity}"
+                    Violation(mid, "sent", words, capacity, next_round, note)
                 )
         for mid, words in received.items():
-            if words > self.machines[mid].capacity:
+            capacity = self.machines[mid].capacity
+            if words > capacity:
                 violations.append(
-                    f"round {self.ledger.rounds + 1} [{note}]: machine {mid} "
-                    f"received {words} > capacity {self.machines[mid].capacity}"
+                    Violation(mid, "received", words, capacity, next_round, note)
                 )
         if violations and self.config.strict:
-            raise CommunicationLimitExceeded("; ".join(violations))
+            raise CommunicationLimitExceeded(
+                "; ".join(violations), violations=violations
+            )
         memory_violations = self._record_memory(note)
         if memory_violations and self.config.strict:
-            raise MemoryLimitExceeded("; ".join(memory_violations))
+            raise MemoryLimitExceeded(
+                "; ".join(memory_violations), violations=memory_violations
+            )
         violations.extend(memory_violations)
+
+        controller = self.throttle
+        if controller is not None:
+            traffic_frac = 0.0
+            for volumes in (sent, received):
+                for mid, words in volumes.items():
+                    capacity = self.machines[mid].capacity
+                    if capacity:
+                        frac = words / capacity
+                        if frac > traffic_frac:
+                            traffic_frac = frac
+            controller.observe(traffic_frac, self._memory_frac)
 
         self.ledger.record_round(
             note=note,
@@ -194,26 +255,38 @@ class Cluster:
         """
         return self.execute(RoundPlan(note=note).extend(messages))
 
-    def _record_memory(self, note: str = "") -> list[str]:
+    def _record_memory(self, note: str = "") -> list[Violation]:
         """Update memory high-water marks; return capacity violations.
 
-        Violation messages mirror the communication ones ("round R [note]:
-        machine M ...") so they land in the same per-round ``violations``
-        tuple and ledger stream.
+        Violation records render like the communication ones ("round R
+        [note]: machine M ...") so they land in the same per-round
+        ``violations`` tuple and ledger stream.  When a throttle
+        controller is attached, the worst usage/capacity fraction of the
+        pass is kept for its next load observation.
         """
-        violations: list[str] = []
+        violations: list[Violation] = []
+        next_round = self.ledger.rounds + 1
+        track = self.throttle is not None
+        memory_frac = 0.0
         for machine in self.machines.values():
             usage = machine.usage
             self.ledger.record_memory(machine.machine_id, usage)
             if usage > machine.capacity:
                 violations.append(
-                    f"round {self.ledger.rounds + 1} [{note}]: machine "
-                    f"{machine.machine_id} holds {usage} > memory capacity "
-                    f"{machine.capacity}"
+                    Violation(
+                        machine.machine_id, "memory", usage, machine.capacity,
+                        next_round, note,
+                    )
                 )
+            if track and machine.capacity:
+                frac = usage / machine.capacity
+                if frac > memory_frac:
+                    memory_frac = frac
+        if track:
+            self._memory_frac = memory_frac
         return violations
 
-    def checkpoint_memory(self, note: str = "") -> list[str]:
+    def checkpoint_memory(self, note: str = "") -> list[Violation]:
         """Check memory between rounds (input placement, cast boundaries).
 
         Updates high-water marks, appends any over-capacity messages to the
@@ -223,9 +296,27 @@ class Cluster:
         """
         violations = self._record_memory(note)
         if violations and self.config.strict:
-            raise MemoryLimitExceeded("; ".join(violations))
+            raise MemoryLimitExceeded("; ".join(violations), violations=violations)
         self.ledger.violations.extend(violations)
         return violations
+
+    # ------------------------------------------------------------------
+    # Throttle hooks (consulted by the primitives)
+    # ------------------------------------------------------------------
+    def throttled_fanout(self, base: int, note: str = "") -> int:
+        """The tree fanout the primitives should use this phase: *base*
+        unless the throttle controller is enforcing and forecasting an
+        over-headroom round (see :mod:`repro.mpc.throttle`)."""
+        if self.throttle is None:
+            return base
+        return self.throttle.fanout(base, note=note)
+
+    def throttled_sample_rate(self, base: float, note: str = "") -> float:
+        """The sampling rate the primitives should use this phase (same
+        contract as :meth:`throttled_fanout`)."""
+        if self.throttle is None:
+            return base
+        return self.throttle.sample_rate(base, note=note)
 
     # ------------------------------------------------------------------
     # Common one-round patterns

@@ -20,7 +20,9 @@ in the ledger instead of raising; pass ``strict=True`` to hard-fail.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+
+from .throttle import ThrottlePolicy
 
 __all__ = ["ModelConfig"]
 
@@ -43,6 +45,9 @@ class ModelConfig:
         polylog_power: exponent of the ``log^a n`` slack in every capacity.
         constant: leading constant of every capacity.
         strict: raise on capacity violations instead of recording them.
+        throttle: the adaptive-throttling policy
+            (:class:`~repro.mpc.throttle.ThrottlePolicy`); the default
+            ``mode="off"`` attaches no controller at all.
     """
 
     n: int
@@ -54,6 +59,7 @@ class ModelConfig:
     polylog_power: int = 2
     constant: float = 4.0
     strict: bool = False
+    throttle: ThrottlePolicy = field(default_factory=ThrottlePolicy)
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -181,3 +187,20 @@ class ModelConfig:
     def with_strict(self, strict: bool = True) -> "ModelConfig":
         """Return a copy of this configuration with strict checking set."""
         return replace(self, strict=strict)
+
+    def with_throttle(
+        self, policy: "ThrottlePolicy | str", **kw
+    ) -> "ModelConfig":
+        """Return a copy with the given throttle policy.
+
+        Accepts a full :class:`~repro.mpc.throttle.ThrottlePolicy` or a
+        mode string shorthand (``"off"``/``"advise"``/``"enforce"``)
+        with policy fields as keywords::
+
+            config.with_throttle("enforce", headroom=0.85)
+        """
+        if isinstance(policy, str):
+            policy = ThrottlePolicy(mode=policy, **kw)
+        elif kw:
+            raise TypeError("pass either a ThrottlePolicy or mode + keywords")
+        return replace(self, throttle=policy)

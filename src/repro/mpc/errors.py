@@ -1,9 +1,24 @@
-"""Exceptions raised by the MPC simulator."""
+"""Exceptions raised by the MPC simulator.
+
+Capacity breaches form a small hierarchy: :class:`MemoryLimitExceeded`
+and :class:`CommunicationLimitExceeded` share the
+:class:`CapacityExceeded` base, which carries the structured
+:class:`~repro.mpc.ledger.Violation` records behind the failure in its
+``violations`` attribute — strict-mode callers can catch the base and
+consume data (machine id, kind, amount, capacity, round) instead of
+parsing the message string.
+"""
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ledger import Violation
+
 __all__ = [
     "MPCError",
+    "CapacityExceeded",
     "MemoryLimitExceeded",
     "CommunicationLimitExceeded",
     "ProtocolError",
@@ -15,11 +30,24 @@ class MPCError(Exception):
     """Base class for all simulator errors."""
 
 
-class MemoryLimitExceeded(MPCError):
+class CapacityExceeded(MPCError):
+    """A budget of the model was breached in strict mode.
+
+    Attributes:
+        violations: the structured :class:`~repro.mpc.ledger.Violation`
+            records (each also renders as the legacy message string).
+    """
+
+    def __init__(self, message: str = "", violations: Iterable["Violation"] = ()):
+        super().__init__(message)
+        self.violations: list["Violation"] = list(violations)
+
+
+class MemoryLimitExceeded(CapacityExceeded):
     """A machine's stored data exceeded its memory capacity (strict mode)."""
 
 
-class CommunicationLimitExceeded(MPCError):
+class CommunicationLimitExceeded(CapacityExceeded):
     """A machine sent or received more words in one round than it can store
     (strict mode)."""
 

@@ -22,12 +22,90 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["NoteStats", "RoundLedger", "RoundRecord"]
+__all__ = ["NoteStats", "RoundLedger", "RoundRecord", "Violation"]
+
+#: The violation kinds a :class:`Violation` can carry.
+VIOLATION_KINDS = ("sent", "received", "memory")
+
+
+class Violation(str):
+    """A typed capacity-violation record.
+
+    Subclasses ``str`` so every existing consumer of the ledger's
+    violation stream — golden hashes, substring assertions, ``"; "``
+    joins in strict-mode exceptions — keeps seeing the exact legacy
+    message rendering, while new consumers (the throttle controller,
+    regression tests, artifacts) read the structured fields instead of
+    parsing strings.
+
+    Attributes:
+        machine_id: the machine that breached its budget.
+        kind: one of :data:`VIOLATION_KINDS` — ``"sent"`` / ``"received"``
+            for per-round bandwidth, ``"memory"`` for stored state.
+        amount: the offending volume, in words.
+        capacity: the machine's budget, in words.
+        round: the 1-based round index the breach belongs to (for
+            between-round checks: the upcoming round).
+        note: the round's note label (or the dataset name for
+            ``Machine.put`` strict failures).
+    """
+
+    machine_id: int
+    kind: str
+    amount: int
+    capacity: int
+    round: int
+    note: str
+
+    def __new__(
+        cls,
+        machine_id: int,
+        kind: str,
+        amount: int,
+        capacity: int,
+        round: int,
+        note: str = "",
+    ) -> "Violation":
+        if kind not in VIOLATION_KINDS:
+            raise ValueError(f"unknown violation kind {kind!r}")
+        if kind == "memory":
+            text = (
+                f"round {round} [{note}]: machine {machine_id} holds "
+                f"{amount} > memory capacity {capacity}"
+            )
+        else:
+            text = (
+                f"round {round} [{note}]: machine {machine_id} {kind} "
+                f"{amount} > capacity {capacity}"
+            )
+        self = super().__new__(cls, text)
+        self.machine_id = machine_id
+        self.kind = kind
+        self.amount = amount
+        self.capacity = capacity
+        self.round = round
+        self.note = note
+        return self
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (consumed by the artifact layer)."""
+        return {
+            "machine_id": self.machine_id,
+            "kind": self.kind,
+            "amount": self.amount,
+            "capacity": self.capacity,
+            "round": self.round,
+            "note": self.note,
+        }
 
 
 @dataclass
 class RoundRecord:
-    """Statistics of one communication round."""
+    """Statistics of one communication round.
+
+    ``violations`` holds :class:`Violation` records (``str`` subclasses
+    rendering the legacy messages).
+    """
 
     index: int
     note: str

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from .errors import MemoryLimitExceeded
+from .ledger import Violation
 from .words import word_size
 
 __all__ = ["Machine", "SMALL", "LARGE"]
@@ -29,19 +30,40 @@ class Machine:
     freed (:meth:`pop`).  In recording mode the cluster checks
     :attr:`over_capacity` at every round and logs a ledger violation
     instead.
+
+    ``round_source`` (set by the cluster) reports the upcoming 1-based
+    round index so strict-mode failures carry *when* the breach happened
+    in their :class:`~repro.mpc.ledger.Violation` record, not just where.
     """
 
-    __slots__ = ("machine_id", "kind", "capacity", "strict", "_store", "_sizes")
+    __slots__ = (
+        "machine_id",
+        "kind",
+        "capacity",
+        "strict",
+        "round_source",
+        "_store",
+        "_sizes",
+    )
 
     def __init__(
-        self, machine_id: int, kind: str, capacity: int, strict: bool = False
+        self,
+        machine_id: int,
+        kind: str,
+        capacity: int,
+        strict: bool = False,
+        round_source: Callable[[], int] | None = None,
     ) -> None:
         self.machine_id = machine_id
         self.kind = kind
         self.capacity = capacity
         self.strict = strict
+        self.round_source = round_source
         self._store: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
+
+    def _round(self) -> int:
+        return self.round_source() if self.round_source is not None else 0
 
     # ------------------------------------------------------------------
     # Dataset management
@@ -51,10 +73,14 @@ class Machine:
         if self.strict:
             usage = self.usage - self._sizes.get(name, 0) + size
             if usage > self.capacity:
+                violation = Violation(
+                    self.machine_id, "memory", usage, self.capacity,
+                    self._round(), note=name,
+                )
                 raise MemoryLimitExceeded(
-                    f"machine {self.machine_id} ({self.kind}): storing "
-                    f"{size} words in dataset {name!r} brings usage to "
-                    f"{usage} > memory capacity {self.capacity}"
+                    f"{violation} (storing {size} words in dataset {name!r} "
+                    f"on the {self.kind} machine)",
+                    violations=[violation],
                 )
         self._store[name] = value
         self._sizes[name] = size
@@ -71,10 +97,14 @@ class Machine:
         if name in self._store:
             self._sizes[name] = word_size(self._store[name])
             if self.strict and self.usage > self.capacity:
+                violation = Violation(
+                    self.machine_id, "memory", self.usage, self.capacity,
+                    self._round(), note=name,
+                )
                 raise MemoryLimitExceeded(
-                    f"machine {self.machine_id} ({self.kind}): in-place "
-                    f"growth of dataset {name!r} brings usage to "
-                    f"{self.usage} > memory capacity {self.capacity}"
+                    f"{violation} (in-place growth of dataset {name!r} "
+                    f"on the {self.kind} machine)",
+                    violations=[violation],
                 )
 
     def datasets(self) -> Iterator[str]:

@@ -184,13 +184,14 @@ def _aggregate_columnar(
     """The converge-cast of :func:`aggregate`, on ``(keys, values)`` columns.
 
     Mirrors :func:`~repro.primitives.broadcast.converge_cast` level for
-    level — same sources/representatives schedule, same scratch dataset
-    and charge points, same note strings — with the per-level dict loop
+    level — same sources/representatives schedule, same per-level
+    throttle-hook consultation, same scratch dataset and charge points,
+    same note strings — with the per-level dict loop
     replaced by :func:`~repro.primitives.columnar.reduce_pairs` and each
     tree edge carrying one ``(n, 2)`` block (``n`` items, ``2n`` words:
     exactly the object path's ``n`` pairs).
     """
-    fanout = cluster.config.tree_fanout
+    base_fanout = cluster.config.tree_fanout
     scratch = f"{note}#cast-buffer"
     machines = cluster.machines
 
@@ -235,6 +236,7 @@ def _aggregate_columnar(
             )
             if not sources:
                 break
+            fanout = cluster.throttled_fanout(base_fanout, note=note)
             if len(sources) <= fanout:
                 representatives = {mid: dst for mid in sources}
             else:

@@ -26,12 +26,17 @@ def broadcast(
     note: str = "broadcast",
 ) -> int:
     """Send *value* from machine *src* to every machine in *dst_ids* along a
-    fanout-``n^gamma`` tree.  Returns the number of rounds used."""
-    fanout = cluster.config.tree_fanout
+    fanout-``n^gamma`` tree.  Returns the number of rounds used.
+
+    The fanout is a throttle hook: consulted per level, so an enforcing
+    controller forecasting an over-headroom round narrows the tree (more
+    levels, each sender pushing fewer copies per round)."""
+    base_fanout = cluster.config.tree_fanout
     holders = [src]
     pending = [d for d in dst_ids if d != src]
     rounds = 0
     while pending:
+        fanout = cluster.throttled_fanout(base_fanout, note=note)
         plan = RoundPlan(note=f"{note}/push")
         new_holders = []
         index = 0
@@ -69,8 +74,13 @@ def converge_cast(
     buffers outgrow a machine — exactly the condition Claim 2's per-level
     combining is there to prevent.  The scratch is freed as buffers drain;
     the combined result is the caller's to charge wherever it stores it.
+
+    The fan-in is a throttle hook (consulted per level, like
+    :func:`broadcast`'s fanout): narrowing the tree shrinks both the
+    per-round receive volume and the in-flight buffer growth at every
+    intermediate machine.
     """
-    fanout = cluster.config.tree_fanout
+    base_fanout = cluster.config.tree_fanout
     scratch = f"{note}#cast-buffer"
     machines = cluster.machines
 
@@ -91,6 +101,7 @@ def converge_cast(
             sources = sorted(mid for mid in buffers if mid != dst and buffers[mid])
             if not sources:
                 break
+            fanout = cluster.throttled_fanout(base_fanout, note=note)
             if len(sources) <= fanout:
                 representatives = {mid: dst for mid in sources}
             else:

@@ -55,7 +55,10 @@ def disseminate(
         src = (
             cluster.large.machine_id if cluster.has_large else cluster.small_ids[0]
         )
-    fanout = cluster.config.tree_fanout
+    # Throttle hook, consulted once per call: the heap-indexed tree layout
+    # below must use one consistent fanout for all of its rounds, so an
+    # enforcing controller narrows the *next* dissemination's trees.
+    fanout = cluster.throttled_fanout(cluster.config.tree_fanout, note=note)
 
     received: dict[int, dict[Hashable, Any]] = {}
 

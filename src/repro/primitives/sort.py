@@ -154,8 +154,12 @@ def sample_sort(
         return SortLayout(machine_ids=machine_ids, counts=[0] * len(smalls))
 
     # Step 1: sample and converge-cast the sample keys to the coordinator.
+    # The rate is a throttle hook: an enforcing controller forecasting an
+    # over-headroom round thins the sample (coarser splitters, lighter
+    # converge-cast — the adaptive-sparsification trade).
     k = len(smalls)
     rate = min(1.0, (4.0 * k * max(1.0, math.log2(k + 2))) / total)
+    rate = cluster.throttled_sample_rate(rate, note=f"{note}/sample")
     samples_by_machine: dict[int, list[Any]] = {}
     for machine in smalls:
         local = machine.get(name, [])
@@ -342,8 +346,10 @@ def _sample_sort_columnar(
 
     # Step 1: sample (identical RNG draws: one per stored item, in
     # dataset order) and converge-cast the keys to the coordinator.
+    # Same throttle hook as the object path, so the two stay identical.
     k = len(smalls)
     rate = min(1.0, (4.0 * k * max(1.0, math.log2(k + 2))) / total)
+    rate = cluster.throttled_sample_rate(rate, note=f"{note}/sample")
     samples_by_machine: dict[int, list[Any]] = {}
     for machine in smalls:
         block = blocks.get(machine.machine_id)

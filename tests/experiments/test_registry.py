@@ -26,12 +26,13 @@ def test_every_table1_bench_script_has_a_scenario():
 
 
 def test_every_migrated_bench_script_has_a_scenario():
-    """All bench scripts except the stand-alone throughput pair are
-    registry wrappers."""
+    """All bench scripts except the stand-alone throughput/overhead
+    benches are registry wrappers."""
     standalone = {
         "bench_engine_throughput",
         "bench_primitive_throughput",
         "bench_sketch_throughput",
+        "bench_throttle_overhead",
     }
     for path in BENCH_DIR.glob("bench_*.py"):
         if path.stem in standalone:
