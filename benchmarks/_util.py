@@ -32,6 +32,9 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: subdirectory with their own schema: they are measurements of *this*
 #: machine, not of the model, so they are excluded from the byte-stable
 #: ``repro.bench/2`` artifact set that `repro report --check` validates.
+#: ``REPRO_PERF_DIR`` redirects them (and forces persistence even under
+#: smoke sizing) so CI can measure into a scratch directory and feed
+#: ``scripts/perf_gate.py`` without touching the committed baselines.
 PERF_DIR = RESULTS_DIR / "perf"
 
 PERF_SCHEMA_VERSION = "repro.perf/1"
@@ -87,9 +90,11 @@ def publish_perf(
         "params": dict(params or {}),
         "rows": [dict(row) for row in rows],
     }
-    if persist:
-        PERF_DIR.mkdir(parents=True, exist_ok=True)
-        path = PERF_DIR / f"{benchmark_name}.json"
+    override = os.environ.get("REPRO_PERF_DIR")
+    if persist or override:
+        perf_dir = pathlib.Path(override) if override else PERF_DIR
+        perf_dir.mkdir(parents=True, exist_ok=True)
+        path = perf_dir / f"{benchmark_name}.json"
         path.write_text(json.dumps(obj, indent=2, sort_keys=True) + "\n")
     return obj
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""CI throughput regression gate over ``repro.perf/1`` artifacts.
+
+Compares freshly measured throughput artifacts against the committed
+baselines in ``benchmarks/results/perf/`` and exits non-zero when any
+matched metric dropped by more than the tolerance (default 30%).
+
+Usage::
+
+    python scripts/perf_gate.py                      # self-check baselines
+    python scripts/perf_gate.py --measured /tmp/perf # gate a fresh run
+    python scripts/perf_gate.py --measured /tmp/perf --update-baseline
+    python scripts/perf_gate.py --tolerance 0.5      # loosen the gate
+
+Rows are matched by their full non-metric identity (benchmark, engine,
+sizing knobs, ...), so quick-mode runs at smoke sizes simply do not
+match the full-size baseline rows: they are reported as notes, never
+failures.  Use ``--min-matched`` to require that at least N metrics
+actually matched (guards against a silently empty comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.experiments import perfgate  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="throughput regression gate (repro.perf/1 artifacts)"
+    )
+    parser.add_argument(
+        "--baseline", default=str(perfgate.DEFAULT_BASELINE_DIR),
+        help="committed baseline directory (default benchmarks/results/perf)",
+    )
+    parser.add_argument(
+        "--measured", default=None,
+        help="freshly measured artifact directory "
+             "(default: the baseline dir — a self-check)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=perfgate.DEFAULT_TOLERANCE,
+        help="allowed fractional drop before the gate fires (default 0.30)",
+    )
+    parser.add_argument(
+        "--min-matched", type=int, default=1,
+        help="fail unless at least N metrics were actually compared "
+             "(default 1; use 0 for sizing-mismatched quick runs)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="copy the measured artifacts over the baselines and exit",
+    )
+    args = parser.parse_args(argv)
+
+    measured_dir = args.measured or args.baseline
+    if args.update_baseline:
+        if args.measured is None:
+            print("perf_gate: --update-baseline needs --measured",
+                  file=sys.stderr)
+            return 2
+        updated = perfgate.update_baseline(measured_dir, args.baseline)
+        for path in updated:
+            print(f"updated {path}")
+        return 0
+
+    try:
+        baseline = perfgate.load_perf_dir(args.baseline)
+        measured = perfgate.load_perf_dir(measured_dir)
+    except ValueError as exc:
+        print(f"perf_gate: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"perf_gate: no baseline artifacts in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    result = perfgate.compare_perf(
+        baseline, measured, tolerance=args.tolerance
+    )
+    print(result.render())
+    if not result.ok(min_matched=args.min_matched):
+        if not result.failures:
+            print(
+                f"perf_gate: only {result.matched} metric(s) matched "
+                f"(--min-matched {args.min_matched})",
+                file=sys.stderr,
+            )
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,558 @@
+"""Predicted-vs-measured cost model over the benchmark artifacts.
+
+Loads every ``repro.bench/2`` artifact, fits each measured rounds/words
+column against the candidate asymptotic forms of
+:mod:`repro.analysis.fits`, compares the selected growth class with the
+paper's Table-1 bound where one applies, and renders the deterministic
+``docs/COST_MODEL.md``.  Like ``docs/REPRODUCTION.md`` the document is
+derived, never hand-edited: ``python -m repro costmodel`` regenerates it
+and ``python -m repro costmodel --check`` fails CI when it is stale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .fits import (
+    CONSTANT,
+    FOLD_THRESHOLD,
+    R2_MIN,
+    TIE_MARGIN,
+    UNDERDETERMINED,
+    FitReport,
+    select_model,
+    transform_label,
+    verdict,
+)
+from .tables import render_table
+from .theory import TABLE1
+
+__all__ = [
+    "DEFAULT_DOC_PATH",
+    "DEFAULT_RESULTS_DIR",
+    "EXPECTED",
+    "INFLATION_BOUND",
+    "FitRow",
+    "build_fit_rows",
+    "build_pooled_rows",
+    "check_cost_model",
+    "render_cost_model",
+    "write_cost_model",
+]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_RESULTS_DIR = _REPO_ROOT / "benchmarks" / "results"
+DEFAULT_DOC_PATH = _REPO_ROOT / "docs" / "COST_MODEL.md"
+
+#: Paper-predicted growth class of a measured column in its artifact's
+#: sweep axis, keyed by (problem, column).  Only columns listed here get
+#: a verdict; everything else is fitted observationally (the bound either
+#: is not a function of the swept axis, or the scenario measures
+#: something other than a Table-1 quantity).
+EXPECTED: dict[tuple[str, str], str] = {
+    ("connectivity", "het_rounds"): CONSTANT,          # Thm C.1: O(1)
+    ("connectivity", "sub_rounds"): "log",             # O(log D + loglog n)
+    ("cycle", "het_rounds"): CONSTANT,                 # Section 1: O(1)
+    ("cycle", "sub_rounds"): "log",                    # Ω(log n) lower bound
+    ("mst", "het_rounds"): "loglog",                   # Thm 3.1: O(loglog(m/n))
+    ("mst", "sub_rounds"): "log",                      # Borůvka: O(log n)
+    ("matching", "het_rounds"): "sqrt_log_loglog",     # Thm 5.1
+    ("matching", "sub_rounds"): "sqrt_log_loglog",     # Table 1 sublinear bound
+    ("spanner", "rounds"): CONSTANT,                   # Thm 1.3: O(1)
+    ("mis", "iterations"): "loglog",                   # Thm C.6: O(loglog Δ)
+    ("mis", "rounds"): "loglog",
+    ("coloring", "rounds"): CONSTANT,                  # Thm C.7: O(1)
+    ("mincut", "exact_rounds"): CONSTANT,              # Thm C.3: O(1)
+    ("mincut", "w_rounds"): CONSTANT,                  # Thm C.4: O(1)
+    ("mst_approx", "rounds"): CONSTANT,                # Table 1: O(1)
+}
+
+#: Groups whose scenarios realize Table-1 sweeps (the huge/large tiers
+#: rerun the classic scenarios at 10-100x scale).
+_TABLE1_GROUPS = ("table1", "large", "huge")
+
+#: Heterogeneous-claim columns pooled across the classic/large/huge
+#: scales: the paper's heterogeneous bounds are functions of the swept
+#: axis alone (not of n), so points from different scales are one curve.
+#: Sublinear bounds depend on n and must not be pooled this way.
+_POOLED_COLUMNS = ("het_rounds",)
+
+#: The robustness scenarios pin enforce-mode round inflation at <= 2x
+#: (see docs/THEOREM_MAP.md, "Throttled rounds vs the paper's bounds").
+INFLATION_BOUND = 2.0
+
+#: Table-1 display rows (theory.TABLE1) for each artifact problem key.
+_PROBLEM_TO_TABLE1 = {
+    "connectivity": ["Connectivity"],
+    "mst": ["MST"],
+    "mst_approx": ["(1+eps)-approx MST"],
+    "spanner": ["O(k)-spanner of size O(n^{1+1/k})"],
+    "mincut": ["Exact unweighted min-cut", "Approx weighted min-cut"],
+    "coloring": ["(Δ+1) vertex coloring"],
+    "mis": ["Maximal independent set"],
+    "matching": ["Maximal matching"],
+}
+
+
+@dataclass(frozen=True)
+class FitRow:
+    """One fitted (scenario, column) series plus its verdict."""
+
+    scenario: str
+    group: str
+    problem: str
+    column: str
+    axis: str
+    report: FitReport
+    expected: str | None
+    verdict: str
+
+
+def _is_measure_column(name: str) -> bool:
+    if "~" in name:  # theory columns carry the bound in their name
+        return False
+    return (
+        name == "rounds"
+        or name.endswith("_rounds")
+        or name == "words"
+        or name.endswith("_words")
+        or name == "iterations"
+    )
+
+
+def _axis_values(artifact: dict[str, Any]) -> list[Any] | None:
+    """The sweep-axis value of each row.  Scenarios whose axis is not a
+    row column (the matching family, MIS) recover it from the registry's
+    sweep definition."""
+    rows = artifact["rows"]
+    axis = artifact["axis"]
+    if rows and axis in rows[0]:
+        return [row.get(axis) for row in rows]
+    try:
+        from ..experiments.registry import get_scenario
+
+        scenario = get_scenario(artifact["scenario"])
+    except Exception:
+        return None
+    points = list(scenario.sweep(bool(artifact.get("quick", False))))
+    if len(points) != len(rows):
+        return None
+    return points
+
+
+def _numeric_count(values: Sequence[Any]) -> int:
+    return sum(
+        1 for v in values
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    )
+
+
+def _expected_for(artifact: dict[str, Any], column: str) -> str | None:
+    return EXPECTED.get((artifact["problem"], column))
+
+
+def build_fit_rows(
+    artifacts: Sequence[dict[str, Any]],
+) -> tuple[list[FitRow], list[tuple[str, str]]]:
+    """Fit every measured column of every artifact.
+
+    Returns ``(fit_rows, not_fitted)`` where *not_fitted* lists
+    ``(scenario, reason)`` for scenarios that cannot be fitted at all
+    (categorical axis, too few points, no measured columns).
+    """
+    fit_rows: list[FitRow] = []
+    not_fitted: list[tuple[str, str]] = []
+    for artifact in artifacts:
+        name = artifact["scenario"]
+        columns = [c for c in artifact["columns"] if _is_measure_column(c)]
+        if not columns:
+            not_fitted.append((name, "no measured rounds/words columns"))
+            continue
+        axis_values = _axis_values(artifact)
+        if axis_values is None:
+            not_fitted.append(
+                (name, f"axis `{artifact['axis']}` not recoverable from rows")
+            )
+            continue
+        numeric = _numeric_count(axis_values)
+        if numeric == 0:
+            not_fitted.append(
+                (name, f"categorical axis `{artifact['axis']}`")
+            )
+            continue
+        if numeric < 3:
+            not_fitted.append(
+                (name, f"{numeric} numeric sweep point(s), need 3")
+            )
+            continue
+        for column in columns:
+            ys = [row.get(column) for row in artifact["rows"]]
+            report = select_model(axis_values, ys)
+            expected = _expected_for(artifact, column)
+            if expected is None:
+                verdict_ = "—"
+            else:
+                verdict_ = verdict(report, expected)
+            fit_rows.append(FitRow(
+                scenario=name, group=artifact["group"],
+                problem=artifact["problem"], column=column,
+                axis=artifact["axis"], report=report,
+                expected=expected, verdict=verdict_,
+            ))
+    return fit_rows, not_fitted
+
+
+@dataclass(frozen=True)
+class PooledRow:
+    """One heterogeneous column pooled across classic/large/huge scales."""
+
+    problem: str
+    column: str
+    axis: str
+    scenarios: tuple[str, ...]
+    report: FitReport
+    expected: str | None
+    verdict: str
+
+
+def build_pooled_rows(
+    artifacts: Sequence[dict[str, Any]],
+) -> list[PooledRow]:
+    grouped: dict[tuple[str, str, str], list[dict[str, Any]]] = {}
+    for artifact in artifacts:
+        if artifact["group"] not in _TABLE1_GROUPS:
+            continue
+        for column in _POOLED_COLUMNS:
+            if column in artifact["columns"]:
+                key = (artifact["problem"], artifact["axis"], column)
+                grouped.setdefault(key, []).append(artifact)
+    pooled: list[PooledRow] = []
+    for (problem, axis, column) in sorted(grouped):
+        members = grouped[(problem, axis, column)]
+        if len(members) < 2:
+            continue
+        xs: list[Any] = []
+        ys: list[Any] = []
+        names: list[str] = []
+        for artifact in members:
+            axis_values = _axis_values(artifact)
+            if axis_values is None:
+                continue
+            xs.extend(axis_values)
+            ys.extend(row.get(column) for row in artifact["rows"])
+            names.append(artifact["scenario"])
+        if len(names) < 2:
+            continue
+        report = select_model(xs, ys)
+        expected = EXPECTED.get((problem, column))
+        verdict_ = "—" if expected is None else verdict(report, expected)
+        pooled.append(PooledRow(
+            problem=problem, column=column, axis=axis,
+            scenarios=tuple(names), report=report,
+            expected=expected, verdict=verdict_,
+        ))
+    return pooled
+
+
+def _fmt(value: float | None, digits: int = 3) -> str:
+    if value is None:
+        return "—"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}"
+
+
+def _model_cell(report: FitReport) -> str:
+    if report.model in (CONSTANT, UNDERDETERMINED):
+        return report.model
+    return f"{report.model} ({transform_label(report.model)})"
+
+
+def _best_cell(report: FitReport) -> str:
+    if report.best_growing is None or report.model == report.best_growing:
+        return "—"
+    return f"{report.best_growing} (R²={_fmt(report.best_r2)})"
+
+
+def _fit_table(rows: Sequence[FitRow], with_verdict: bool) -> str:
+    columns = ["problem", "scenario", "measure", "axis", "pts", "model",
+               "slope", "R²", "fold", "best alt"]
+    if with_verdict:
+        columns += ["expected", "verdict"]
+    rendered = []
+    for row in rows:
+        cells = {
+            "problem": row.problem,
+            "scenario": row.scenario,
+            "measure": row.column,
+            "axis": row.axis,
+            "pts": row.report.points,
+            "model": _model_cell(row.report),
+            "slope": _fmt(row.report.slope),
+            "R²": _fmt(row.report.r2),
+            "fold": _fmt(row.report.fold, 2),
+            "best alt": _best_cell(row.report),
+        }
+        if with_verdict:
+            cells["expected"] = row.expected or "—"
+            cells["verdict"] = row.verdict
+        rendered.append(cells)
+    return render_table(rendered, columns)
+
+
+def _separation_rows(
+    artifacts: Sequence[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    out: list[dict[str, Any]] = []
+    for artifact in artifacts:
+        if not {"het_rounds", "sub_rounds"} <= set(artifact["columns"]):
+            continue
+        rows = artifact["rows"]
+        if not rows:
+            continue
+        ratios = [
+            row["sub_rounds"] / row["het_rounds"]
+            for row in rows if row.get("het_rounds")
+        ]
+        if not ratios:
+            continue
+        axis_values = _axis_values(artifact) or ["?"] * len(rows)
+        last = rows[-1]
+        out.append({
+            "scenario": artifact["scenario"],
+            "axis": artifact["axis"],
+            "last point": axis_values[-1],
+            "het rounds": last["het_rounds"],
+            "sub rounds": last["sub_rounds"],
+            "ratio": f"{last['sub_rounds'] / last['het_rounds']:.2f}"
+            if last["het_rounds"] else "—",
+            "mean ratio": f"{sum(ratios) / len(ratios):.2f}",
+        })
+    return out
+
+
+def _throttle_rows(
+    artifacts: Sequence[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    out: list[dict[str, Any]] = []
+    for artifact in artifacts:
+        throttle = artifact.get("throttle")
+        if not throttle:
+            continue
+        inflations = [
+            row["inflation"] for row in artifact["rows"]
+            if isinstance(row.get("inflation"), (int, float))
+        ]
+        max_inflation = max(inflations) if inflations else 0.0
+        out.append({
+            "scenario": artifact["scenario"],
+            "mode": throttle.get("mode", "—"),
+            "headroom": throttle.get("headroom", "—"),
+            "splits": throttle.get("splits", 0),
+            "extra rounds": throttle.get("extra_rounds", 0),
+            "max inflation": f"{max_inflation:.3f}",
+            "bound": f"{INFLATION_BOUND:.1f}x",
+            "within": "yes" if max_inflation <= INFLATION_BOUND else "NO",
+        })
+    return out
+
+
+def _table1_bounds_rows() -> list[dict[str, Any]]:
+    rows = []
+    for problem in sorted(_PROBLEM_TO_TABLE1):
+        for display in _PROBLEM_TO_TABLE1[problem]:
+            match = [r for r in TABLE1 if r.problem == display]
+            if not match:
+                continue
+            row = match[0]
+            rows.append({
+                "problem": problem,
+                "Table 1 row": display,
+                "sublinear": row.sublinear,
+                "heterogeneous": row.heterogeneous,
+                "new": "yes" if row.new_in_paper else "",
+            })
+    return rows
+
+
+def render_cost_model(artifacts: Sequence[dict[str, Any]]) -> str:
+    """Render the cost-model document for *artifacts* (already validated)."""
+    fit_rows, not_fitted = build_fit_rows(artifacts)
+    pooled = build_pooled_rows(artifacts)
+    table1_rows = sorted(
+        (r for r in fit_rows if r.group in _TABLE1_GROUPS),
+        key=lambda r: (r.problem, r.scenario, r.column),
+    )
+    other_rows = sorted(
+        (r for r in fit_rows if r.group not in _TABLE1_GROUPS),
+        key=lambda r: (r.group, r.scenario, r.column),
+    )
+    verdicts = [r.verdict for r in fit_rows] + [p.verdict for p in pooled]
+    n_consistent = sum(1 for v in verdicts if v == "consistent")
+    n_inconsistent = sum(1 for v in verdicts if v == "inconsistent")
+    n_under = sum(1 for v in verdicts if v == UNDERDETERMINED)
+
+    lines: list[str] = [
+        "# Cost model: predicted vs measured",
+        "",
+        "<!-- GENERATED FILE — do not edit.  Regenerate with",
+        "     `python -m repro costmodel` after `python -m repro bench all"
+        " --json`. -->",
+        "",
+        "Least-squares fits of every measured rounds/words column in the",
+        "committed `repro.bench/2` artifacts against the candidate",
+        "asymptotic forms of Table 1, with a verdict against the paper's",
+        "bound where one is a function of the swept axis",
+        "(Fischer–Horowitz–Oshman, PODC 2022).  See",
+        "`src/repro/analysis/fits.py` for the fitting machinery and",
+        "`src/repro/analysis/costmodel.py` for the verdict map.",
+        "",
+        "## Method",
+        "",
+        "Each series `y` (a measured column) is fit as `y ~ a·g(x) + b`",
+        "over its sweep axis `x` for every candidate transform `g`:",
+        "`log log x`, `sqrt(log x)·log log x`, `log x`, `x^0.5`, `x`",
+        "(base-2 logs, unfloored `log log` via",
+        "`repro.analysis.theory.loglog_raw`).  The candidate with the",
+        "highest R² is selected — R² is invariant under rescaling of `y`,",
+        "so selection between growing forms never depends on units.  A",
+        "series is classified `constant` when it is flat, when the best",
+        "slope is non-positive, or when the fitted end-to-end growth",
+        f"(`fold`) stays below {FOLD_THRESHOLD}x across the sweep;",
+        f"it is `underdetermined` below 3 numeric points or R² {R2_MIN}.",
+        "A verdict is `consistent` when the selected class grows no",
+        "faster than the predicted one, or when the predicted form's own",
+        f"R² is within {TIE_MARGIN} of the best (a 3-4 point sweep cannot",
+        "separate neighbouring classes); `inconsistent` otherwise.",
+        "",
+        f"**Verdicts:** {n_consistent} consistent, "
+        f"{n_inconsistent} inconsistent, {n_under} underdetermined.",
+        "",
+        "## Table 1 bounds",
+        "",
+        "```",
+        render_table(
+            _table1_bounds_rows(),
+            ["problem", "Table 1 row", "sublinear", "heterogeneous", "new"],
+        ),
+        "```",
+        "",
+        "## Fit summary — Table 1 scenarios",
+        "",
+        "Classic, large and huge tiers of the Table-1 sweeps.  `het_*`",
+        "columns measure the heterogeneous regime, `sub_*` the sublinear",
+        "baselines; words columns are fitted observationally (the paper",
+        "bounds rounds, not traffic volume).",
+        "",
+        "```",
+        _fit_table(table1_rows, with_verdict=True),
+        "```",
+        "",
+        "## Pooled heterogeneous fits (classic + large + huge)",
+        "",
+        "The heterogeneous bounds are functions of the swept axis alone,",
+        "so points from all scales of one problem form a single curve.",
+        "This is the headline check: heterogeneous MST rounds across the",
+        "full m/n range against `O(log log(m/n))`.",
+        "",
+        "```",
+        _fit_table(
+            [FitRow(
+                scenario=", ".join(p.scenarios), group="pooled",
+                problem=p.problem, column=p.column, axis=p.axis,
+                report=p.report, expected=p.expected, verdict=p.verdict,
+            ) for p in pooled],
+            with_verdict=True,
+        ),
+        "```",
+        "",
+        "## Heterogeneous vs sublinear separation",
+        "",
+        "Measured round-count ratios (sublinear / heterogeneous) at the",
+        "largest sweep point and averaged over the sweep.",
+        "",
+        "```",
+        render_table(
+            _separation_rows(artifacts),
+            ["scenario", "axis", "last point", "het rounds", "sub rounds",
+             "ratio", "mean ratio"],
+        ),
+        "```",
+        "",
+        "## Throttle round inflation",
+        "",
+        "Enforce-mode splitting trades capacity violations for extra",
+        "rounds; the robustness scenarios bound that inflation at",
+        f"{INFLATION_BOUND:.0f}x (see docs/THEOREM_MAP.md).",
+        "",
+        "```",
+        render_table(
+            _throttle_rows(artifacts),
+            ["scenario", "mode", "headroom", "splits", "extra rounds",
+             "max inflation", "bound", "within"],
+        ),
+        "```",
+        "",
+        "## Other scenarios (observational)",
+        "",
+        "Theorem, figure, ablation and robustness sweeps; fits are",
+        "reported for completeness, with verdicts only where a Table-1",
+        "bound applies to the swept axis.",
+        "",
+        "```",
+        _fit_table(other_rows, with_verdict=True),
+        "```",
+        "",
+        "## Not fitted",
+        "",
+    ]
+    for scenario, reason in sorted(not_fitted):
+        lines.append(f"- `{scenario}`: {reason}")
+    if not not_fitted:
+        lines.append("- (every scenario was fitted)")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_cost_model(
+    results_dir: pathlib.Path | str = DEFAULT_RESULTS_DIR,
+    doc_path: pathlib.Path | str = DEFAULT_DOC_PATH,
+) -> pathlib.Path:
+    """Regenerate the cost-model doc from *results_dir*."""
+    from ..experiments.artifacts import load_results_dir
+
+    artifacts = load_results_dir(results_dir)
+    doc_path = pathlib.Path(doc_path)
+    doc_path.parent.mkdir(parents=True, exist_ok=True)
+    doc_path.write_text(render_cost_model(artifacts))
+    return doc_path
+
+
+def check_cost_model(
+    results_dir: pathlib.Path | str = DEFAULT_RESULTS_DIR,
+    doc_path: pathlib.Path | str = DEFAULT_DOC_PATH,
+) -> list[str]:
+    """Return a list of problems (empty = the committed doc is current)."""
+    from ..experiments.artifacts import load_results_dir
+
+    problems: list[str] = []
+    doc_path = pathlib.Path(doc_path)
+    try:
+        artifacts = load_results_dir(results_dir)
+    except Exception as exc:
+        return [f"artifact validation failed: {exc}"]
+    if not artifacts:
+        problems.append(f"no JSON artifacts found in {results_dir}")
+        return problems
+    expected = render_cost_model(artifacts)
+    if not doc_path.exists():
+        problems.append(
+            f"{doc_path} is missing; run `python -m repro costmodel`"
+        )
+    elif doc_path.read_text() != expected:
+        problems.append(
+            f"{doc_path} is stale; run `python -m repro costmodel` and commit"
+        )
+    return problems

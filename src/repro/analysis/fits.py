@@ -1,0 +1,259 @@
+"""Least-squares fits of measured costs against Table-1 asymptotic forms.
+
+Given a sweep ``(x_i, y_i)`` — an artifact axis (n, m/n, k, ...) against a
+measured column (rounds, words) — each candidate form ``g`` is fit as
+``y ~ a·g(x) + b`` by ordinary least squares over the *transformed* axis,
+and the candidate with the highest R² is selected.  Selection therefore
+never depends on the scale of ``y``: R² is invariant under ``y -> α·y + β``,
+so rescaling a measured column cannot flip the choice between two growing
+forms.
+
+Two extra rules classify a series as ``constant``:
+
+* a non-positive best slope (flat or decreasing series grow like O(1) in
+  the swept axis), and
+* a bounded *fold*: the fitted line's end-to-end growth factor across the
+  sweep, ``(a·g_max + b) / (a·g_min + b)``.  A series that only moves a
+  few tens of percent over a 32x axis range is consistent with a constant
+  bound plus implementation noise, whatever transform tracks its wiggle
+  best.  The fold is a ratio of fitted values, so it is scale-invariant
+  but deliberately *not* shift-invariant: round counts are ratio-scale
+  quantities with a true zero, and "grew 30% over the sweep" is only
+  meaningful relative to that zero.
+
+Series with fewer than three distinct numeric points, or where no
+candidate reaches ``r2_min``, are ``underdetermined``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .theory import loglog_raw
+
+__all__ = [
+    "CONSTANT",
+    "FOLD_THRESHOLD",
+    "FitReport",
+    "GROWTH_ORDER",
+    "LeastSquares",
+    "R2_MIN",
+    "TIE_MARGIN",
+    "TRANSFORMS",
+    "UNDERDETERMINED",
+    "growth_rank",
+    "least_squares",
+    "select_model",
+    "verdict",
+]
+
+CONSTANT = "constant"
+UNDERDETERMINED = "underdetermined"
+
+#: Fitted end-to-end growth <= this factor across the whole sweep is
+#: classified as constant (bounded variation, not asymptotic growth).
+FOLD_THRESHOLD = 1.6
+#: Best-candidate R² below this leaves the series underdetermined.
+R2_MIN = 0.6
+#: A paper-predicted form within this much R² of the best-fitting one is
+#: judged an adequate model (sweeps have 3-4 points; close calls between
+#: e.g. log and log log are noise, not refutation).
+TIE_MARGIN = 0.25
+#: Relative spread below which a series is flat outright.
+FLAT_RTOL = 0.1
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+#: Candidate growing forms, slowest-growing first (ties in R² resolve to
+#: the slowest form).  Keys double as model names in fit reports.
+TRANSFORMS: tuple[tuple[str, str, Callable[[float], float]], ...] = (
+    ("loglog", "log log x", loglog_raw),
+    ("sqrt_log_loglog", "sqrt(log x)·log log x",
+     lambda x: math.sqrt(_log2(x)) * loglog_raw(x)),
+    ("log", "log x", _log2),
+    ("sqrt", "x^0.5", lambda x: math.sqrt(max(x, 0.0))),
+    ("linear", "x", float),
+)
+
+#: Growth classes from slowest to fastest; rank comparisons implement
+#: "measured growth is within the predicted bound".
+GROWTH_ORDER: tuple[str, ...] = (
+    CONSTANT, "loglog", "sqrt_log_loglog", "log", "sqrt", "linear"
+)
+
+
+def growth_rank(model: str) -> int:
+    return GROWTH_ORDER.index(model)
+
+
+def transform_label(model: str) -> str:
+    for key, label, _ in TRANSFORMS:
+        if key == model:
+            return label
+    return model
+
+
+@dataclass(frozen=True)
+class LeastSquares:
+    """One candidate's fit: ``y ~ slope·g(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+
+def least_squares(gs: Sequence[float], ys: Sequence[float]) -> LeastSquares | None:
+    """OLS of *ys* on *gs*; ``None`` when the transform is degenerate
+    (zero variance in ``g``, e.g. every sweep point below the transform's
+    floor)."""
+    n = len(gs)
+    mean_g = sum(gs) / n
+    mean_y = sum(ys) / n
+    var_g = sum((g - mean_g) ** 2 for g in gs)
+    if var_g <= 1e-12:
+        return None
+    cov = sum((g - mean_g) * (y - mean_y) for g, y in zip(gs, ys))
+    slope = cov / var_g
+    intercept = mean_y - slope * mean_g
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    if ss_tot <= 1e-12:
+        r2 = 1.0
+    else:
+        ss_res = sum(
+            (y - (slope * g + intercept)) ** 2 for g, y in zip(gs, ys)
+        )
+        r2 = 1.0 - ss_res / ss_tot
+    return LeastSquares(slope=slope, intercept=intercept, r2=r2)
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Model selection for one measured series.
+
+    ``model`` is a transform key, ``constant``, or ``underdetermined``.
+    ``best_growing``/``best_r2`` always name the best-fitting growing
+    candidate (when any transform was non-degenerate), so constant and
+    underdetermined classifications stay auditable.
+    """
+
+    model: str
+    points: int
+    slope: float | None = None
+    intercept: float | None = None
+    r2: float | None = None
+    fold: float | None = None
+    best_growing: str | None = None
+    best_r2: float | None = None
+    candidates: Mapping[str, LeastSquares] = field(default_factory=dict)
+
+
+def _numeric_pairs(
+    xs: Sequence[object], ys: Sequence[object]
+) -> list[tuple[float, float]]:
+    pairs: list[tuple[float, float]] = []
+    for x, y in zip(xs, ys):
+        if isinstance(x, bool) or isinstance(y, bool):
+            continue
+        if not isinstance(x, (int, float)) or not isinstance(y, (int, float)):
+            continue
+        if not (math.isfinite(x) and math.isfinite(y)):
+            continue
+        pairs.append((float(x), float(y)))
+    return pairs
+
+
+def select_model(
+    xs: Sequence[object],
+    ys: Sequence[object],
+    *,
+    fold_threshold: float = FOLD_THRESHOLD,
+    r2_min: float = R2_MIN,
+    flat_rtol: float = FLAT_RTOL,
+) -> FitReport:
+    """Fit every candidate form to the numeric points of ``(xs, ys)`` and
+    classify the series.  Non-numeric sweep points (regime labels, the
+    ``"1/log n"`` axis tag) are skipped."""
+    pairs = _numeric_pairs(xs, ys)
+    points = len(pairs)
+    if points < 3 or len({x for x, _ in pairs}) < 3:
+        return FitReport(model=UNDERDETERMINED, points=points)
+
+    xvals = [x for x, _ in pairs]
+    yvals = [y for _, y in pairs]
+    candidates: dict[str, LeastSquares] = {}
+    for key, _, fn in TRANSFORMS:
+        fit = least_squares([fn(x) for x in xvals], yvals)
+        if fit is not None:
+            candidates[key] = fit
+
+    spread = max(yvals) - min(yvals)
+    mean_abs = sum(abs(y) for y in yvals) / points
+    if spread <= 1e-12 or (mean_abs > 0 and spread <= flat_rtol * mean_abs):
+        return FitReport(
+            model=CONSTANT, points=points, fold=1.0, candidates=candidates
+        )
+    if not candidates:
+        return FitReport(model=UNDERDETERMINED, points=points)
+
+    best_key = max(
+        candidates,
+        key=lambda k: (candidates[k].r2,
+                       -[t[0] for t in TRANSFORMS].index(k)),
+    )
+    best = candidates[best_key]
+    if best.slope <= 0:
+        return FitReport(
+            model=CONSTANT, points=points, best_growing=best_key,
+            best_r2=best.r2, candidates=candidates,
+        )
+    if best.r2 < r2_min:
+        return FitReport(
+            model=UNDERDETERMINED, points=points, best_growing=best_key,
+            best_r2=best.r2, candidates=candidates,
+        )
+    fn = dict((k, f) for k, _, f in TRANSFORMS)[best_key]
+    gs = [fn(x) for x in xvals]
+    lo = best.slope * min(gs) + best.intercept
+    hi = best.slope * max(gs) + best.intercept
+    fold = hi / lo if lo > 0 else math.inf
+    if fold <= fold_threshold:
+        return FitReport(
+            model=CONSTANT, points=points, fold=fold, best_growing=best_key,
+            best_r2=best.r2, candidates=candidates,
+        )
+    return FitReport(
+        model=best_key, points=points, slope=best.slope,
+        intercept=best.intercept, r2=best.r2, fold=fold,
+        best_growing=best_key, best_r2=best.r2, candidates=candidates,
+    )
+
+
+def verdict(
+    report: FitReport, expected: str, *, tie_margin: float = TIE_MARGIN
+) -> str:
+    """Compare a fit against the paper-predicted growth class.
+
+    ``consistent`` when the selected model grows no faster than the
+    predicted one, or when the predicted form explains the series nearly
+    as well as the best candidate (within *tie_margin* of its R²) — a
+    3-4 point sweep cannot separate e.g. log from sqrt(log)·loglog.
+    """
+    if expected not in GROWTH_ORDER:
+        raise ValueError(f"unknown growth class {expected!r}")
+    if report.model == UNDERDETERMINED:
+        return UNDERDETERMINED
+    if growth_rank(report.model) <= growth_rank(expected):
+        return "consistent"
+    expected_fit = report.candidates.get(expected)
+    if (
+        expected_fit is not None
+        and report.best_r2 is not None
+        and expected_fit.r2 >= report.best_r2 - tie_margin
+    ):
+        return "consistent"
+    return "inconsistent"

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["TABLE1", "Table1Row", "predicted_rounds", "log2", "loglog"]
+__all__ = ["TABLE1", "Table1Row", "predicted_rounds", "log2", "loglog", "loglog_raw"]
 
 
 def log2(x: float) -> float:
@@ -19,7 +19,16 @@ def log2(x: float) -> float:
 
 
 def loglog(x: float) -> float:
-    return max(1.0, math.log2(max(math.log2(max(x, 2.0)), 2.0)))
+    """Display-floored log log: never below 1.0, so theory columns in the
+    benchmark tables stay readable next to measured round counts."""
+    return max(1.0, loglog_raw(x))
+
+
+def loglog_raw(x: float) -> float:
+    """Unfloored log log, 0 at x <= 4.  The fitting code needs the true
+    small-x shape: flooring at 1.0 flattens every sweep point below n=16
+    onto the same value, which biases least-squares slopes toward zero."""
+    return math.log2(max(math.log2(max(x, 2.0)), 1.0))
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ Examples::
     python -m repro bench all --quick --json            # smoke all scenarios
     python -m repro bench all --json --jobs 4           # process-pool sweep
     python -m repro report --check                      # docs/REPRODUCTION.md
+    python -m repro costmodel --check                   # docs/COST_MODEL.md
 """
 
 from __future__ import annotations
@@ -142,6 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact directory (default benchmarks/results)")
     p.add_argument("--out", default=None,
                    help="output path (default docs/REPRODUCTION.md)")
+
+    p = sub.add_parser(
+        "costmodel",
+        help="regenerate docs/COST_MODEL.md (asymptotic fits) from the "
+             "JSON artifacts",
+    )
+    p.add_argument("--check", action="store_true",
+                   help="verify the committed cost model matches the "
+                        "artifacts (exit 1 when stale)")
+    p.add_argument("--results", default=None,
+                   help="artifact directory (default benchmarks/results)")
+    p.add_argument("--out", default=None,
+                   help="output path (default docs/COST_MODEL.md)")
     return parser
 
 
@@ -234,12 +248,32 @@ def _report_command(args) -> int:
     return 0
 
 
+def _costmodel_command(args) -> int:
+    from .analysis import costmodel
+
+    results = args.results or costmodel.DEFAULT_RESULTS_DIR
+    doc = args.out or costmodel.DEFAULT_DOC_PATH
+    if args.check:
+        problems = costmodel.check_cost_model(results_dir=results, doc_path=doc)
+        for problem in problems:
+            print(f"costmodel --check: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{doc} is up to date with {results}")
+        return 0
+    path = costmodel.write_cost_model(results_dir=results, doc_path=doc)
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return _bench_command(args)
     if args.command == "report":
         return _report_command(args)
+    if args.command == "costmodel":
+        return _costmodel_command(args)
     rng = random.Random(args.seed)
     out = sys.stdout
 

@@ -1,0 +1,182 @@
+"""Throughput regression gate over ``repro.perf/1`` artifacts.
+
+``benchmarks/results/perf/`` holds the committed machine-throughput
+baselines (items/s, edges/s per benchmark row).  The gate compares a
+freshly measured set of artifacts against those baselines and fails when
+any matched metric drops by more than the tolerance.  Rows are matched
+by their full identity — every non-metric key/value pair, including
+workload sizing — so a quick-mode run simply does not match full-size
+baseline rows (reported as notes, never failures), and new benchmarks or
+rows never fire the gate.
+
+The comparator lives here (not in ``scripts/perf_gate.py``) so the
+hypothesis property suite can drive it directly; the script is a thin
+CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "DEFAULT_BASELINE_DIR",
+    "DEFAULT_TOLERANCE",
+    "DERIVED_KEYS",
+    "GateResult",
+    "METRIC_KEYS",
+    "PERF_SCHEMA_VERSION",
+    "compare_perf",
+    "load_perf_dir",
+    "row_identity",
+    "update_baseline",
+]
+
+PERF_SCHEMA_VERSION = "repro.perf/1"
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE_DIR = _REPO_ROOT / "benchmarks" / "results" / "perf"
+
+#: Gated throughput metrics (higher is better).
+METRIC_KEYS = frozenset({"items_per_sec", "edges_per_sec"})
+#: Derived ratios recomputed every run; excluded from both row identity
+#: and gating (a speedup shift is already visible in the raw metrics).
+DERIVED_KEYS = frozenset({"speedup", "overhead_pct"})
+
+#: Fail on a >30% throughput drop by default.
+DEFAULT_TOLERANCE = 0.30
+
+
+def row_identity(row: Mapping[str, Any]) -> tuple:
+    """A row's identity: every non-metric, non-derived key/value pair."""
+    return tuple(sorted(
+        (k, str(v)) for k, v in row.items()
+        if k not in METRIC_KEYS and k not in DERIVED_KEYS
+    ))
+
+
+def load_perf_dir(path: pathlib.Path | str) -> dict[str, dict[str, Any]]:
+    """Load and validate every ``repro.perf/1`` artifact in *path*,
+    keyed by benchmark name.  Raises ``ValueError`` on malformed files."""
+    path = pathlib.Path(path)
+    artifacts: dict[str, dict[str, Any]] = {}
+    for file in sorted(path.glob("*.json")):
+        obj = json.loads(file.read_text())
+        if obj.get("schema") != PERF_SCHEMA_VERSION:
+            raise ValueError(
+                f"{file}: schema {obj.get('schema')!r}, "
+                f"expected {PERF_SCHEMA_VERSION!r}"
+            )
+        if not isinstance(obj.get("benchmark"), str):
+            raise ValueError(f"{file}: missing benchmark name")
+        if not isinstance(obj.get("rows"), list):
+            raise ValueError(f"{file}: rows must be a list")
+        artifacts[obj["benchmark"]] = obj
+    return artifacts
+
+
+@dataclass
+class GateResult:
+    """Outcome of one baseline/measured comparison."""
+
+    failures: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    matched: int = 0
+
+    def ok(self, min_matched: int = 0) -> bool:
+        if self.failures:
+            return False
+        return self.matched >= min_matched
+
+    def render(self) -> str:
+        lines = [f"perf gate: {self.matched} metric(s) compared"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        return "\n".join(lines)
+
+
+def compare_perf(
+    baseline: Mapping[str, Mapping[str, Any]],
+    measured: Mapping[str, Mapping[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateResult:
+    """Compare measured throughput against baselines.
+
+    A failure is recorded iff a matched metric satisfies
+    ``measured < baseline * (1 - tolerance)`` — strictly below the
+    allowance, so improvements and exact-boundary values always pass.
+    Unmatched benchmarks, rows, and metric keys on either side are
+    reported as notes.
+    """
+    result = GateResult()
+    for name in sorted(baseline):
+        base_artifact = baseline[name]
+        meas_artifact = measured.get(name)
+        if meas_artifact is None:
+            result.notes.append(f"{name}: no measured artifact")
+            continue
+        meas_rows = {
+            row_identity(row): row for row in meas_artifact.get("rows", [])
+        }
+        for row in base_artifact.get("rows", []):
+            identity = row_identity(row)
+            metrics = {
+                k: row[k] for k in sorted(METRIC_KEYS)
+                if isinstance(row.get(k), (int, float))
+            }
+            label = f"{name} {dict(identity)}"
+            if not metrics:
+                continue
+            meas_row = meas_rows.get(identity)
+            if meas_row is None:
+                result.notes.append(f"{label}: no matching measured row")
+                continue
+            for key, base_value in metrics.items():
+                meas_value = meas_row.get(key)
+                if not isinstance(meas_value, (int, float)):
+                    result.notes.append(
+                        f"{label}: measured row lacks {key}"
+                    )
+                    continue
+                if base_value <= 0:
+                    result.notes.append(
+                        f"{label}: non-positive baseline {key}"
+                    )
+                    continue
+                result.matched += 1
+                floor = base_value * (1.0 - tolerance)
+                if meas_value < floor:
+                    drop = 100.0 * (1.0 - meas_value / base_value)
+                    result.failures.append(
+                        f"{label}: {key} dropped {drop:.1f}% "
+                        f"({base_value:.1f} -> {meas_value:.1f}, "
+                        f"tolerance {tolerance:.0%})"
+                    )
+    for name in sorted(measured):
+        if name not in baseline:
+            result.notes.append(f"{name}: new benchmark (no baseline)")
+    return result
+
+
+def update_baseline(
+    measured_dir: pathlib.Path | str,
+    baseline_dir: pathlib.Path | str = DEFAULT_BASELINE_DIR,
+) -> list[pathlib.Path]:
+    """Copy every measured artifact over the committed baselines;
+    returns the updated paths.  Validates the measured set first."""
+    measured_dir = pathlib.Path(measured_dir)
+    baseline_dir = pathlib.Path(baseline_dir)
+    artifacts = load_perf_dir(measured_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    updated: list[pathlib.Path] = []
+    for name in sorted(artifacts):
+        src = measured_dir / f"{name}.json"
+        dst = baseline_dir / f"{name}.json"
+        shutil.copyfile(src, dst)
+        updated.append(dst)
+    return updated

@@ -102,7 +102,10 @@ def render_report(artifacts: Sequence[dict[str, Any]]) -> str:
         "strict mode and recorded as ledger violations otherwise.  The",
         "paper-vs-measured semantics of",
         "each column are documented in the scenario's `measure` function;",
-        "theorem-to-code pointers live in `docs/THEOREM_MAP.md`.",
+        "theorem-to-code pointers live in `docs/THEOREM_MAP.md`.  Whether",
+        "the measured curves actually *grow* like the paper's bounds is",
+        "checked by the asymptotic fit suite in the generated",
+        "[COST_MODEL.md](COST_MODEL.md) (`python -m repro costmodel`).",
         "",
         "## Scenario summary",
         "",

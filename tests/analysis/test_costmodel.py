@@ -1,0 +1,200 @@
+"""The cost-model document: golden verdict pins on the committed
+artifacts, determinism, and `costmodel --check` staleness semantics."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import costmodel
+from repro.analysis.fits import CONSTANT, UNDERDETERMINED
+from repro.experiments import Runner, get_scenario, load_results_dir
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return load_results_dir(RESULTS)
+
+
+@pytest.fixture(scope="module")
+def fit_rows(artifacts):
+    rows, _ = costmodel.build_fit_rows(artifacts)
+    return rows
+
+
+def _row(fit_rows, scenario, column):
+    match = [
+        r for r in fit_rows if r.scenario == scenario and r.column == column
+    ]
+    assert match, f"no fit row for {scenario}/{column}"
+    return match[0]
+
+
+# --- golden verdict pins (the acceptance criteria) ----------------------
+
+def test_pooled_heterogeneous_mst_fits_loglog(artifacts):
+    """The headline claim: heterogeneous MST rounds over the pooled
+    classic+large+huge m/n sweep grow like O(log log(m/n))."""
+    pooled = [
+        p for p in costmodel.build_pooled_rows(artifacts)
+        if p.problem == "mst"
+    ]
+    assert len(pooled) == 1
+    row = pooled[0]
+    assert set(row.scenarios) == {
+        "table1_mst", "table1_mst_large", "table1_mst_huge"
+    }
+    assert row.report.model in ("loglog", CONSTANT)
+    assert row.report.model == "loglog"  # what the committed data shows
+    assert row.report.r2 is not None and row.report.r2 > 0.8
+    assert row.verdict == "consistent"
+
+
+def test_per_scenario_mst_heterogeneous_fits_loglog(fit_rows):
+    for scenario in ("table1_mst", "table1_mst_large"):
+        row = _row(fit_rows, scenario, "het_rounds")
+        assert row.report.model == "loglog"
+        assert row.verdict == "consistent"
+
+
+def test_heterogeneous_constant_round_problems_fit_constant(fit_rows):
+    """Connectivity, spanner and matching heterogeneous rounds are
+    O(1)-class on the committed sweeps."""
+    for scenario, column in (
+        ("table1_connectivity", "het_rounds"),
+        ("table1_connectivity_large", "het_rounds"),
+        ("table1_spanner", "rounds"),
+        ("table1_matching", "het_rounds"),
+        ("table1_matching_large", "het_rounds"),
+    ):
+        row = _row(fit_rows, scenario, column)
+        assert row.report.model == CONSTANT, (scenario, row.report.model)
+        assert row.verdict == "consistent"
+
+
+def test_pooled_connectivity_and_matching_fit_constant(artifacts):
+    pooled = {p.problem: p for p in costmodel.build_pooled_rows(artifacts)}
+    assert pooled["connectivity"].report.model == CONSTANT
+    assert pooled["matching"].report.model == CONSTANT
+    assert pooled["connectivity"].verdict == "consistent"
+    assert pooled["matching"].verdict == "consistent"
+
+
+def test_no_committed_scenario_is_inconsistent(artifacts, fit_rows):
+    verdicts = [r.verdict for r in fit_rows]
+    verdicts += [p.verdict for p in costmodel.build_pooled_rows(artifacts)]
+    assert "inconsistent" not in verdicts
+    assert verdicts.count("consistent") >= 20
+
+
+def test_matching_axis_recovered_from_registry(fit_rows):
+    """The matching family's artifacts do not carry the m/n axis as a row
+    column; the fit recovers it from the registry sweep definition."""
+    row = _row(fit_rows, "table1_matching", "het_rounds")
+    assert row.report.points == 3
+
+
+def test_throttle_inflation_within_bound(artifacts):
+    rows = costmodel._throttle_rows(artifacts)
+    assert len(rows) == 3
+    for row in rows:
+        assert row["within"] == "yes"
+        assert float(row["max inflation"]) <= costmodel.INFLATION_BOUND
+
+
+def test_separation_ratios_cover_het_vs_sub_scenarios(artifacts):
+    rows = costmodel._separation_rows(artifacts)
+    by_name = {r["scenario"]: r for r in rows}
+    assert len(rows) == 10  # connectivity/mst/matching tiers + cycle
+    assert float(by_name["table1_connectivity"]["ratio"]) >= 4.0
+    assert float(by_name["cycle_problem"]["ratio"]) >= 40.0
+
+
+def test_workload_scenarios_are_not_fitted(artifacts):
+    _, not_fitted = costmodel.build_fit_rows(artifacts)
+    reasons = dict(not_fitted)
+    assert "categorical" in reasons["workload_grid"]
+    assert "table1_mst_huge" in reasons  # 2 sweep points
+
+
+def test_underdetermined_series_is_flagged_not_judged(fit_rows):
+    row = _row(fit_rows, "cycle_problem", "sub_rounds")
+    assert row.report.model == UNDERDETERMINED
+    assert row.verdict == UNDERDETERMINED
+
+
+# --- rendering and staleness --------------------------------------------
+
+def test_render_is_deterministic(artifacts):
+    assert costmodel.render_cost_model(artifacts) == \
+        costmodel.render_cost_model(artifacts)
+
+
+def test_committed_cost_model_is_current():
+    """The committed docs/COST_MODEL.md matches the committed artifacts
+    (the invariant CI enforces via `repro costmodel --check`)."""
+    assert costmodel.check_cost_model(
+        results_dir=RESULTS, doc_path=REPO_ROOT / "docs" / "COST_MODEL.md"
+    ) == []
+
+
+def _make_results(tmp_path):
+    runner = Runner(results_dir=tmp_path)
+    for name in ("table1_mst", "table1_connectivity"):
+        runner.persist(runner.run(get_scenario(name), quick=True))
+    return tmp_path
+
+
+def test_write_then_check_passes(tmp_path):
+    results = _make_results(tmp_path)
+    doc = tmp_path / "COST_MODEL.md"
+    costmodel.write_cost_model(results_dir=results, doc_path=doc)
+    assert costmodel.check_cost_model(results_dir=results, doc_path=doc) == []
+
+
+def test_check_flags_stale_doc(tmp_path):
+    results = _make_results(tmp_path)
+    doc = tmp_path / "COST_MODEL.md"
+    costmodel.write_cost_model(results_dir=results, doc_path=doc)
+    doc.write_text(doc.read_text() + "drift\n")
+    problems = costmodel.check_cost_model(results_dir=results, doc_path=doc)
+    assert problems and "stale" in problems[0]
+
+
+def test_check_flags_missing_doc(tmp_path):
+    results = _make_results(tmp_path)
+    problems = costmodel.check_cost_model(
+        results_dir=results, doc_path=tmp_path / "nope.md"
+    )
+    assert problems and "missing" in problems[0]
+
+
+def test_check_flags_empty_results_dir(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    problems = costmodel.check_cost_model(
+        results_dir=empty, doc_path=tmp_path / "doc.md"
+    )
+    assert problems and "no JSON artifacts" in problems[0]
+
+
+def test_check_flags_corrupt_artifact(tmp_path):
+    results = _make_results(tmp_path)
+    (results / "bad.json").write_text('{"schema": "wrong"}')
+    problems = costmodel.check_cost_model(
+        results_dir=results, doc_path=tmp_path / "COST_MODEL.md"
+    )
+    assert problems and "validation failed" in problems[0]
+
+
+def test_quick_artifacts_render_without_verdict_regressions(tmp_path):
+    """Quick sweeps are tiny (2 points) — they must degrade to
+    underdetermined/not-fitted, never crash or go inconsistent."""
+    results = _make_results(tmp_path)
+    artifacts = load_results_dir(results)
+    text = costmodel.render_cost_model(artifacts)
+    assert "inconsistent," in text  # the summary line
+    rows, _ = costmodel.build_fit_rows(artifacts)
+    assert all(r.verdict != "inconsistent" for r in rows)

@@ -1,0 +1,219 @@
+"""The asymptotic fitter: synthetic-curve recovery, selection
+invariances (hypothesis), and verdict logic."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fits import (
+    CONSTANT,
+    GROWTH_ORDER,
+    TIE_MARGIN,
+    TRANSFORMS,
+    UNDERDETERMINED,
+    FitReport,
+    LeastSquares,
+    growth_rank,
+    least_squares,
+    select_model,
+    verdict,
+)
+
+#: A wide axis range separates the candidate forms cleanly.
+XS = [2, 8, 64, 1024, 65536]
+
+_FN = {key: fn for key, _, fn in TRANSFORMS}
+
+
+def _series(key: str, a: float = 10.0, b: float = 3.0) -> list[float]:
+    return [a * _FN[key](x) + b for x in XS]
+
+
+# --- synthetic-curve recovery -------------------------------------------
+
+@pytest.mark.parametrize("key", [k for k, _, _ in TRANSFORMS])
+def test_recovers_each_clean_form(key):
+    report = select_model(XS, _series(key))
+    assert report.model == key
+    assert report.r2 == pytest.approx(1.0)
+    assert report.slope == pytest.approx(10.0)
+
+
+@pytest.mark.parametrize("key", [k for k, _, _ in TRANSFORMS])
+def test_recovers_each_form_under_noise(key):
+    # Deterministic ±3% multiplicative noise must not flip the model.
+    ys = [
+        y * (1.03 if i % 2 else 0.97)
+        for i, y in enumerate(_series(key, a=25.0, b=2.0))
+    ]
+    report = select_model(XS, ys)
+    assert report.model == key
+    assert report.r2 > 0.98
+
+
+def test_flat_series_is_constant():
+    report = select_model(XS, [7, 7, 7, 7, 7])
+    assert report.model == CONSTANT
+    assert report.fold == 1.0
+
+
+def test_nearly_flat_series_is_constant():
+    # 2% relative spread is implementation noise, not growth.
+    report = select_model(XS, [100, 101, 100, 99, 100])
+    assert report.model == CONSTANT
+
+
+def test_decreasing_series_is_constant():
+    report = select_model(XS, [118, 100, 100, 97, 95])
+    assert report.model == CONSTANT
+    assert report.best_growing is not None  # still auditable
+
+
+def test_bounded_fold_collapses_to_constant():
+    # Grows a little (fold < 1.6) over a 2..65536 axis range: O(1)-class.
+    ys = [36.0 + 2.0 * _FN["loglog"](x) for x in XS]  # 36 -> 44
+    report = select_model(XS, ys)
+    assert report.model == CONSTANT
+    assert report.fold is not None and report.fold < 1.6
+
+
+def test_noisy_growth_below_r2_floor_is_underdetermined():
+    # Trends upward but no candidate explains it (best R² < 0.6) — the
+    # shape of the committed cycle_problem sublinear series.
+    report = select_model([32, 64, 128, 256], [34, 34, 56, 45])
+    assert report.model == UNDERDETERMINED
+    assert report.best_r2 is not None and report.best_r2 < 0.6
+
+
+def test_fewer_than_three_points_is_underdetermined():
+    assert select_model([2, 8], [1, 5]).model == UNDERDETERMINED
+    assert select_model([2, 2, 2], [1, 5, 9]).model == UNDERDETERMINED
+
+
+def test_non_numeric_points_are_skipped():
+    xs = ["classic", 2, 8, 64, 1024]
+    ys = [999] + _series("log")[1:]
+    report = select_model(xs, ys)
+    assert report.points == 4
+    assert report.model == "log"
+
+
+def test_least_squares_degenerate_transform_is_none():
+    assert least_squares([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) is None
+
+
+def test_least_squares_perfect_line():
+    fit = least_squares([0.0, 1.0, 2.0], [3.0, 5.0, 7.0])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(3.0)
+    assert fit.r2 == pytest.approx(1.0)
+
+
+# --- selection invariances (hypothesis) ---------------------------------
+
+def _top_two_gap(report: FitReport) -> float:
+    r2s = sorted((f.r2 for f in report.candidates.values()), reverse=True)
+    if len(r2s) < 2:
+        return math.inf
+    return r2s[0] - r2s[1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ys=st.lists(st.integers(1, 10**6), min_size=5, max_size=5),
+    alpha_exp=st.integers(-3, 6),
+)
+def test_positive_scaling_never_flips_selection(ys, alpha_exp):
+    """R²-based selection is invariant under y -> α·y; the flat and fold
+    rules are ratio-based, so the whole classification is scale-invariant."""
+    alpha = 2.0 ** alpha_exp  # exact in binary floating point
+    base = select_model(XS, ys)
+    assume(_top_two_gap(base) > 1e-9)  # exclude exact R² ties
+    scaled = select_model(XS, [alpha * y for y in ys])
+    assert scaled.model == base.model
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ys=st.lists(st.integers(1, 10**6), min_size=5, max_size=5),
+    beta=st.integers(0, 10**6),
+)
+def test_upward_shift_never_flips_between_growing_forms(ys, beta):
+    """Candidate R² values are shift-invariant, so a shift can never swap
+    one growing form for another.  It may collapse the classification to
+    constant (the fold rule is deliberately anchored at y = 0: rounds are
+    ratio-scale quantities), but never the reverse."""
+    base = select_model(XS, ys)
+    assume(_top_two_gap(base) > 1e-9)
+    shifted = select_model(XS, [y + beta for y in ys])
+    if shifted.model != base.model:
+        assert shifted.model == CONSTANT
+    if base.model not in (CONSTANT, UNDERDETERMINED):
+        assert shifted.model in (base.model, CONSTANT)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ys=st.lists(st.integers(1, 10**6), min_size=5, max_size=5),
+    alpha_exp=st.integers(-3, 6),
+)
+def test_scaling_preserves_r2(ys, alpha_exp):
+    alpha = 2.0 ** alpha_exp
+    base = select_model(XS, ys)
+    scaled = select_model(XS, [alpha * y for y in ys])
+    for key, fit in base.candidates.items():
+        assert scaled.candidates[key].r2 == pytest.approx(
+            fit.r2, abs=1e-9
+        )
+
+
+# --- verdicts -----------------------------------------------------------
+
+def test_growth_order_is_slowest_first():
+    assert growth_rank(CONSTANT) == 0
+    assert growth_rank("loglog") < growth_rank("sqrt_log_loglog")
+    assert growth_rank("sqrt_log_loglog") < growth_rank("log")
+    assert growth_rank("log") < growth_rank("sqrt") < growth_rank("linear")
+
+
+def test_verdict_within_bound_is_consistent():
+    report = select_model(XS, _series("loglog"))
+    assert verdict(report, "log") == "consistent"
+    assert verdict(report, "loglog") == "consistent"
+
+
+def test_verdict_constant_is_within_every_bound():
+    report = select_model(XS, [7, 7, 7, 7, 7])
+    for expected in GROWTH_ORDER:
+        assert verdict(report, expected) == "consistent"
+
+
+def test_verdict_clean_linear_refutes_loglog():
+    report = select_model(XS, [float(x) for x in XS])
+    assert report.model == "linear"
+    assert verdict(report, "loglog") == "inconsistent"
+
+
+def test_verdict_tie_margin_accepts_adequate_predicted_form():
+    report = FitReport(
+        model="log", points=4, slope=1.0, intercept=0.0, r2=0.99,
+        fold=3.0, best_growing="log", best_r2=0.99,
+        candidates={
+            "log": LeastSquares(1.0, 0.0, 0.99),
+            "loglog": LeastSquares(2.0, 0.0, 0.99 - TIE_MARGIN / 2),
+        },
+    )
+    assert verdict(report, "loglog") == "consistent"
+
+
+def test_verdict_underdetermined_passes_through():
+    report = select_model([2, 8], [1, 5])
+    assert verdict(report, "log") == UNDERDETERMINED
+
+
+def test_verdict_unknown_class_raises():
+    report = select_model(XS, _series("log"))
+    with pytest.raises(ValueError):
+        verdict(report, "exponential")

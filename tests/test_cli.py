@@ -181,3 +181,27 @@ def test_report_check_fails_on_schema_violation(capsys, tmp_path):
     assert main(["report", "--check", "--results", str(tmp_path),
                  "--out", str(tmp_path / "GUIDE.md")]) == 1
     assert "validation failed" in capsys.readouterr().err
+
+
+def test_costmodel_generates_and_checks(capsys, tmp_path):
+    run(capsys, ["bench", "table1_mst", "--quick", "--json",
+                 "--out", str(tmp_path)])
+    doc = tmp_path / "COST_MODEL.md"
+    out = run(capsys, ["costmodel", "--results", str(tmp_path),
+                       "--out", str(doc)])
+    assert "wrote" in out
+    assert "table1_mst" in doc.read_text()
+    out = run(capsys, ["costmodel", "--check", "--results", str(tmp_path),
+                       "--out", str(doc)])
+    assert "up to date" in out
+
+
+def test_costmodel_check_fails_on_stale_doc(capsys, tmp_path):
+    run(capsys, ["bench", "table1_mst", "--quick", "--json",
+                 "--out", str(tmp_path)])
+    doc = tmp_path / "COST_MODEL.md"
+    run(capsys, ["costmodel", "--results", str(tmp_path), "--out", str(doc)])
+    doc.write_text(doc.read_text() + "drift\n")
+    assert main(["costmodel", "--check", "--results", str(tmp_path),
+                 "--out", str(doc)]) == 1
+    assert "stale" in capsys.readouterr().err
