@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="run sweep points on a process pool of N workers; "
                         "artifacts are byte-identical to a serial run")
+    p.add_argument("--executor", choices=["serial", "process"], default=None,
+                   help="per-machine local-step executor (also via "
+                        "REPRO_EXECUTOR); artifacts are byte-identical "
+                        "either way.  --jobs > 1 wins: sweep workers "
+                        "always run their points serially")
+    p.add_argument("--executor-workers", type=int, default=0,
+                   help="process-executor worker count (0 = cpu count; "
+                        "also via REPRO_EXECUTOR_WORKERS)")
     p.add_argument("--out", default=None,
                    help="results directory (default benchmarks/results, "
                         "or benchmarks/results/quick with --quick)")
@@ -168,6 +176,20 @@ def _config(args, m: int) -> ModelConfig:
     return ModelConfig.heterogeneous(n=args.n, m=m, gamma=args.gamma)
 
 
+def _maybe_forced_executor(args):
+    """Context for ``--executor``: force the named executor for every
+    cluster built during the run.  Sweep workers spawned by ``--jobs``
+    ignore it (they mark themselves as worker processes and always run
+    local steps serially), so ``--jobs`` takes precedence."""
+    from .mpc.executor import forced_executor
+
+    if args.executor is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return forced_executor(args.executor, workers=args.executor_workers)
+
+
 def _bench_command(args) -> int:
     from . import experiments
 
@@ -200,12 +222,13 @@ def _bench_command(args) -> int:
         )
     else:
         runner = experiments.Runner(results_dir=results_dir, seed=args.seed)
-    runs = runner.run_many(
-        selected,
-        quick=quick,
-        json_artifact=args.json_artifacts,
-        echo=lambda run: print(run.render_text()),
-    )
+    with _maybe_forced_executor(args):
+        runs = runner.run_many(
+            selected,
+            quick=quick,
+            json_artifact=args.json_artifacts,
+            echo=lambda run: print(run.render_text()),
+        )
     if args.scenarios == ["all"] and args.json_artifacts:
         # The cross-scenario roll-up only makes sense (and is only safe to
         # overwrite) when the whole registry ran.

@@ -43,6 +43,17 @@ at every round and at input placement).  In strict mode
 :class:`MemoryLimitExceeded`; otherwise both are recorded in the ledger's
 ``violations`` stream.
 
+Local compute runs on the *executor seam* (:mod:`repro.mpc.executor`):
+the primitives' hot per-machine loops are registered *local steps* —
+pure functions over one machine's shard — dispatched through
+:meth:`Cluster.run_local_steps`.  The default :class:`SerialExecutor`
+runs them inline; ``ModelConfig.with_executor("process", workers=N)``
+(or ``REPRO_EXECUTOR=process``) fans shippable steps out over a process
+pool.  All accounting stays derived from plans on the coordinator, so
+ledgers and artifacts are byte-identical across executors — and inside
+``bench --jobs N`` workers the seam always degrades to serial (nested
+parallelism is guarded; ``--jobs`` wins over ``--executor``).
+
 Compatibility policy
 --------------------
 
@@ -74,6 +85,15 @@ from .errors import (
     MemoryLimitExceeded,
     MPCError,
     ProtocolError,
+)
+from .executor import (
+    LocalStep,
+    ProcessExecutor,
+    SerialExecutor,
+    available_executors,
+    forced_executor,
+    get_executor,
+    local_step,
 )
 from .ledger import NoteStats, RoundLedger, RoundRecord, Violation
 from .machine import LARGE, SMALL, Machine
@@ -115,4 +135,11 @@ __all__ = [
     "ThrottleController",
     "ThrottleEvent",
     "PeakHoldLoadEstimator",
+    "LocalStep",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "available_executors",
+    "forced_executor",
+    "get_executor",
+    "local_step",
 ]

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable, Iterable
 
 from ..mpc.cluster import Cluster
+from ..mpc.executor import local_step
 from . import columnar
 from .broadcast import converge_cast
 from .columnar import EdgeBlock
@@ -54,6 +55,22 @@ def _combine_pairs(
     for key, value in pairs:
         result[key] = value if key not in result else combine(result[key], value)
     return list(result.items())
+
+
+@local_step("aggregate/combine-object", ships=False)
+def _combine_object_step(payload: tuple) -> list[tuple[Hashable, Any]]:
+    """One machine's local pre-combine, object path.  ``ships=False``:
+    *combine* is a user callable."""
+    pairs, combine = payload
+    return _combine_pairs(pairs, combine)
+
+
+@local_step("aggregate/reduce-pairs")
+def _reduce_pairs_step(payload: tuple) -> tuple[Any, Any]:
+    """One machine's group-by-key reduction, columnar path (the per-level
+    ``argsort``/``reduceat`` kernel of the converge-cast)."""
+    keys, values, kind = payload
+    return columnar.reduce_pairs(keys, values, kind)
 
 
 def aggregate(
@@ -92,10 +109,12 @@ def aggregate(
     def level_combine(buffer: list[Any]) -> list[Any]:
         return _combine_pairs(buffer, combine_fn)
 
-    locally_combined = {
-        mid: _combine_pairs(list(pairs), combine_fn)
-        for mid, pairs in materialized.items()
-    }
+    mids = list(materialized)
+    combined = cluster.run_local_steps(
+        "aggregate/combine-object",
+        [(list(materialized[mid]), combine_fn) for mid in mids],
+    )
+    locally_combined = dict(zip(mids, combined))
     result_pairs = converge_cast(
         cluster, locally_combined, dst, combine=level_combine, note=note
     )
@@ -198,10 +217,14 @@ def _aggregate_columnar(
     value_dtype = next(iter(columns_by_machine.values()))[1].dtype
     transport = _np.float64 if value_dtype.kind == "f" else _np.int64
 
-    # Local pre-combine (uncharged, like the object path's).
-    buffers: dict[int, tuple[Any, Any]] = {}
-    for mid, (keys, values) in columns_by_machine.items():
-        buffers[mid] = columnar.reduce_pairs(keys, values, kind)
+    # Local pre-combine (uncharged, like the object path's) — one
+    # shippable local step per machine on the executor seam.
+    mids = list(columns_by_machine)
+    reduced = cluster.run_local_steps(
+        "aggregate/reduce-pairs",
+        [(*columns_by_machine[mid], kind) for mid in mids],
+    )
+    buffers: dict[int, tuple[Any, Any]] = dict(zip(mids, reduced))
 
     def charge(mid: int) -> None:
         buffer = buffers.get(mid)
@@ -255,18 +278,30 @@ def _aggregate_columnar(
                 buffers[mid] = empty
                 charge(mid)
             inboxes = cluster.execute(plan)
+            merged: dict[int, tuple[Any, Any]] = {}
             for target, received in inboxes.items():
                 keys, values = from_transport(received)
                 held = buffers.get(target)
                 if held is not None and len(held[0]):
                     keys = _np.concatenate([held[0], keys])
                     values = _np.concatenate([held[1], values])
-                if target != dst:
-                    keys, values = columnar.reduce_pairs(keys, values, kind)
-                buffers[target] = (keys, values)
+                merged[target] = (keys, values)
+            # Per-level re-combine: every representative's reduction is
+            # one shippable local step (the destination holds its buffer
+            # unreduced, exactly like the object path).
+            reps = [target for target in merged if target != dst]
+            reduced = cluster.run_local_steps(
+                "aggregate/reduce-pairs",
+                [(*merged[target], kind) for target in reps],
+            )
+            merged.update(zip(reps, reduced))
+            for target in inboxes:
+                buffers[target] = merged[target]
                 charge(target)
         held = buffers.get(dst, empty)
-        keys, values = columnar.reduce_pairs(held[0], held[1], kind)
+        [(keys, values)] = cluster.run_local_steps(
+            "aggregate/reduce-pairs", [(*held, kind)]
+        )
         # Record the destination's post-combine peak (it may never see
         # another round), then hand the result back to the caller.
         buffers[dst] = (keys, values)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..mpc.cluster import Cluster
+from ..mpc.executor import local_step
 from . import columnar
 from .aggregate import aggregate_counts
 from .columnar import EdgeBlock
@@ -44,6 +45,30 @@ def directed_copies(edge: tuple) -> list[tuple]:
     ``(src, dst, edge)``."""
     u, v = edge[0], edge[1]
     return [(u, v, edge), (v, u, edge)]
+
+
+@local_step("arrange/directed-flat")
+def _flat_directed_step(columns: tuple) -> EdgeBlock:
+    """One machine's flat directed-copy build: both orientations
+    interleaved, the original edge columns repeated alongside."""
+    end_dtype = columns[0].dtype
+    src = _np.empty(2 * len(columns[0]), dtype=end_dtype)
+    dst = _np.empty(2 * len(columns[0]), dtype=end_dtype)
+    src[0::2] = columns[0]
+    src[1::2] = columns[1]
+    dst[0::2] = columns[1]
+    dst[1::2] = columns[0]
+    return EdgeBlock([src, dst, *(_np.repeat(col, 2) for col in columns)])
+
+
+@local_step("arrange/directed-object", ships=False)
+def _directed_object_step(edges: list) -> list[tuple]:
+    """One machine's nested directed-copy build.  ``ships=False``: edge
+    payloads may be arbitrary objects."""
+    records: list[tuple] = []
+    for edge in edges:
+        records.extend(directed_copies(edge))
+    return records
 
 
 @dataclass
@@ -103,10 +128,11 @@ def arrange_directed(
             key2: Callable[[tuple], Any] = lambda edge: edge  # noqa: E731
         else:
             key2 = columnar.as_callable(secondary_key)
-        for machine in cluster.smalls:
-            records = []
-            for edge in machine.get(edges_name, []):
-                records.extend(directed_copies(edge))
+        built = cluster.run_local_steps(
+            "arrange/directed-object",
+            [list(machine.get(edges_name, [])) for machine in cluster.smalls],
+        )
+        for machine, records in zip(cluster.smalls, built):
             machine.put(directed_name, records)
         layout = sample_sort(
             cluster,
@@ -187,7 +213,7 @@ def _flat_directed(
     width: int | None = None
     dtypes: tuple | None = None
     blocks: dict[int, Any] = {}
-    any_rows = False
+    qualified: list[tuple[int, EdgeBlock]] = []
     for machine in cluster.smalls:
         local = machine.get(edges_name, [])
         if not len(local):
@@ -204,18 +230,14 @@ def _flat_directed(
         end_dtype = block.columns[0].dtype
         if end_dtype.kind != "i" or block.columns[1].dtype != end_dtype:
             return None
-        any_rows = True
-        src = _np.empty(2 * len(block), dtype=end_dtype)
-        dst = _np.empty(2 * len(block), dtype=end_dtype)
-        src[0::2] = block.columns[0]
-        src[1::2] = block.columns[1]
-        dst[0::2] = block.columns[1]
-        dst[1::2] = block.columns[0]
-        blocks[machine.machine_id] = EdgeBlock(
-            [src, dst, *(_np.repeat(col, 2) for col in block.columns)]
-        )
-    if not any_rows:
+        qualified.append((machine.machine_id, block))
+    if not qualified:
         return None
+    built = cluster.run_local_steps(
+        "arrange/directed-flat", [block.columns for _, block in qualified]
+    )
+    for (mid, _), directed in zip(qualified, built):
+        blocks[mid] = directed
     key_fields = edge_spec if edge_spec is not None else tuple(range(width))
     if key_fields and (max(key_fields) >= width or min(key_fields) < 0):
         return None

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Hashable
 
 from ..mpc.cluster import Cluster
+from ..mpc.executor import local_step
 from ..mpc.plan import RoundPlan
 from . import columnar
 from .columnar import EdgeBlock
@@ -35,6 +36,28 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
     _np = None
 
 __all__ = ["dedup_lightest"]
+
+
+@local_step("dedup/keep-first-columnar")
+def _keep_first_columnar_step(payload: tuple) -> "EdgeBlock":
+    """One machine's local keep-first pass over its sorted block."""
+    columns, length, fields = payload
+    return _keep_first_block(EdgeBlock(columns, length), fields)
+
+
+@local_step("dedup/keep-first-object", ships=False)
+def _keep_first_object_step(payload: tuple) -> list[Any]:
+    """One machine's local keep-first scan.  ``ships=False``: *key_fn*
+    is a user callable."""
+    items, key_fn = payload
+    kept = []
+    last_key: Any = _SENTINEL
+    for item in items:
+        item_key = key_fn(item)
+        if item_key != last_key:
+            kept.append(item)
+            last_key = item_key
+    return kept
 
 
 def dedup_lightest(
@@ -64,20 +87,29 @@ def dedup_lightest(
 
     key_fn = columnar.as_callable(key)
 
-    # Local pass: within a machine, keep the first record of each group.
+    # Local pass: within a machine, keep the first record of each group —
+    # one local step per machine on the executor seam (columnar blocks
+    # ship as a vectorized mask pass; object scans stay inline).
+    col_mids: list[int] = []
+    col_payloads = []
+    obj_mids: list[int] = []
+    obj_payloads = []
     for machine in cluster.smalls:
         data = machine.get(name, [])
         if key_spec is not None and isinstance(data, EdgeBlock):
-            machine.put(name, _keep_first_block(data, key_spec))
-            continue
-        kept = []
-        last_key: Any = _SENTINEL
-        for item in data:
-            item_key = key_fn(item)
-            if item_key != last_key:
-                kept.append(item)
-                last_key = item_key
-        machine.put(name, kept)
+            col_mids.append(machine.machine_id)
+            col_payloads.append((data.columns, len(data), key_spec))
+        else:
+            obj_mids.append(machine.machine_id)
+            obj_payloads.append((data, key_fn))
+    for mid, kept_block in zip(
+        col_mids, cluster.run_local_steps("dedup/keep-first-columnar", col_payloads)
+    ):
+        cluster.machine(mid).put(name, kept_block)
+    for mid, kept in zip(
+        obj_mids, cluster.run_local_steps("dedup/keep-first-object", obj_payloads)
+    ):
+        cluster.machine(mid).put(name, kept)
 
     # Boundary pass: each non-empty machine announces the key of its last
     # (pre-drop) record to the next non-empty machine, which then drops its

@@ -43,6 +43,7 @@ from typing import Any, Hashable
 
 from ..mpc.cluster import Cluster
 from ..mpc.errors import ProtocolError
+from ..mpc.executor import local_step
 from ..mpc.plan import RoundPlan
 from . import columnar
 from .columnar import EdgeBlock
@@ -55,6 +56,28 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
     _np = None
 
 __all__ = ["annotate_edges_with_vertex_values"]
+
+
+@local_step("join/directed-flat")
+def _directed_flat_step(columns: tuple) -> EdgeBlock:
+    """One machine's directed-copy build, flat path: interleave both
+    orientations (row ``2i`` is ``(u, edge_i...)``, row ``2i+1`` is
+    ``(v, edge_i...)``)."""
+    src = _np.empty(2 * len(columns[0]), dtype=columns[0].dtype)
+    src[0::2] = columns[0]
+    src[1::2] = columns[1]
+    return EdgeBlock([src, *(_np.repeat(col, 2) for col in columns)])
+
+
+@local_step("join/directed-object", ships=False)
+def _directed_object_step(edges: list) -> list[tuple]:
+    """One machine's directed-copy build, nested path.  ``ships=False``:
+    edge payloads may be arbitrary objects."""
+    records = []
+    for edge in edges:
+        records.append((edge[0], edge))
+        records.append((edge[1], edge))
+    return records
 
 
 def annotate_edges_with_vertex_values(
@@ -84,11 +107,11 @@ def annotate_edges_with_vertex_values(
         sort1_key: Any = tuple(range(width + 1))
     else:
         width = -1
-        for machine in cluster.smalls:
-            records = []
-            for edge in machine.get(edges_name, []):
-                records.append((edge[0], edge))
-                records.append((edge[1], edge))
+        built = cluster.run_local_steps(
+            "join/directed-object",
+            [list(machine.get(edges_name, [])) for machine in cluster.smalls],
+        )
+        for machine, records in zip(cluster.smalls, built):
             machine.put(work, records)
         sort1_key = lambda r: (r[0], r[1])  # noqa: E731
     sample_sort(cluster, work, key=sort1_key, note=f"{note}/sort-src")
@@ -235,7 +258,7 @@ def _directed_blocks(
     width: int | None = None
     dtypes: tuple | None = None
     blocks: dict[int, Any] = {}
-    any_rows = False
+    qualified: list[tuple[int, EdgeBlock]] = []
     for machine in cluster.smalls:
         local = machine.get(edges_name, [])
         if not len(local):
@@ -252,16 +275,16 @@ def _directed_blocks(
         src_dtype = block.columns[0].dtype
         if src_dtype.kind != "i" or block.columns[1].dtype != src_dtype:
             return None
-        any_rows = True
-        src = _np.empty(2 * len(block), dtype=src_dtype)
-        src[0::2] = block.columns[0]
-        src[1::2] = block.columns[1]
-        blocks[machine.machine_id] = EdgeBlock(
-            [src, *(_np.repeat(col, 2) for col in block.columns)]
-        )
-    if not any_rows:
+        qualified.append((machine.machine_id, block))
+    if not qualified:
         # All machines empty: the object path costs zero rounds anyway.
         return None
+    # Build the interleaved copies — one shippable local step per machine.
+    built = cluster.run_local_steps(
+        "join/directed-flat", [block.columns for _, block in qualified]
+    )
+    for (mid, _), directed in zip(qualified, built):
+        blocks[mid] = directed
     return width, blocks
 
 

@@ -39,8 +39,8 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, Callable, Sequence
 
-from ..mpc.backend import NumpyEngineBackend
 from ..mpc.cluster import Cluster
+from ..mpc.executor import local_step
 from . import columnar
 from .broadcast import broadcast, converge_cast
 from .columnar import EdgeBlock
@@ -51,6 +51,80 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
     _np = None
 
 __all__ = ["SortLayout", "sample_sort"]
+
+
+# ----------------------------------------------------------------------
+# Local steps (the executor seam's per-machine units; repro.mpc.executor)
+# ----------------------------------------------------------------------
+@local_step("sort/bucket-object", ships=False)
+def _bucket_object_step(payload: tuple) -> list[int]:
+    """One machine's route step, object path: each item's bucket index.
+    ``ships=False``: *key* is a user callable."""
+    items, splitters, key = payload
+    return [bisect.bisect_right(splitters, key(item)) for item in items]
+
+
+@local_step("sort/rank-object", ships=False)
+def _rank_object_step(payload: tuple) -> list[Any]:
+    """One machine's rank step, object path: sort the received bucket."""
+    items, key = payload
+    return sorted(items, key=key)
+
+
+@local_step("sort/partition-columnar")
+def _partition_columnar_step(payload: tuple) -> list[tuple[int, Any]]:
+    """One machine's route step, columnar path: pre-grouped per-bucket
+    segments ``(bucket, stacked_rows)`` in ascending bucket order with
+    stable within-bucket item order — exactly the runs the engine
+    backend's grouping would emit for the equivalent scatter, so
+    accounting is identical whether this runs inline or in a worker.
+
+    Packed mode assigns buckets with one vectorized ``searchsorted`` and
+    keeps arrival order (stable argsort); sorted mode (unpackable keys)
+    pre-sorts locally and slices at the splitter boundaries.
+    """
+    columns, fields, splitters, packed, transport = payload
+    if packed:
+        packed_rows, packed_splitters = columnar.pack_columns(
+            [columns[f] for f in fields], splitters
+        )
+        buckets = _np.searchsorted(packed_splitters, packed_rows, side="right")
+        stacked = _np.column_stack(
+            [col.astype(transport, copy=False) for col in columns]
+        )
+        order = _np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        sorted_rows = stacked[order]
+        edges = _np.flatnonzero(sorted_buckets[1:] != sorted_buckets[:-1]) + 1
+        starts = [0, *edges.tolist(), len(sorted_buckets)]
+        return [
+            (int(sorted_buckets[start]), sorted_rows[start:stop])
+            for start, stop in zip(starts[:-1], starts[1:])
+        ]
+    ordered = columnar.lexsort_block(EdgeBlock(columns), fields)
+    stacked = _np.column_stack(
+        [col.astype(transport, copy=False) for col in ordered.columns]
+    )
+    bounds = columnar.bucket_bounds(ordered, fields, splitters)
+    starts = [0, *bounds]
+    stops = [*bounds, len(ordered)]
+    return [
+        (bucket, stacked[start:stop])
+        for bucket, (start, stop) in enumerate(zip(starts, stops))
+        if stop > start
+    ]
+
+
+@local_step("sort/rank-columnar")
+def _rank_columnar_step(payload: tuple) -> EdgeBlock:
+    """One machine's rank step, columnar path: merge the received blocks
+    and stably sort the bucket."""
+    received, dtypes, fields = payload
+    merged = received[0] if len(received) == 1 else _np.concatenate(received)
+    columns = [
+        merged[:, j].astype(dtypes[j], copy=False) for j in range(len(dtypes))
+    ]
+    return columnar.lexsort_block(EdgeBlock(columns, merged.shape[0]), fields)
 
 
 @dataclass
@@ -176,21 +250,27 @@ def sample_sort(
     broadcast(cluster, coordinator, tuple(splitters), machine_ids, note=f"{note}/splitters")
 
     # Step 3: route every item to its bucket machine — the hottest exchange
-    # in the repo: each machine hands the engine its destination column and
-    # the engine groups the scatter into one run per (machine, bucket) pair.
-    plan = cluster.plan(note=f"{note}/route")
+    # in the repo.  Each machine's bucket assignment is one local step on
+    # the executor seam; the engine then groups the scatter into one run
+    # per (machine, bucket) pair.
+    participants: list[tuple[int, list[Any]]] = []
+    payloads = []
     for machine in smalls:
         items = machine.pop(name, [])
         if items:
-            dsts = [
-                machine_ids[bisect.bisect_right(splitters, key(item))]
-                for item in items
-            ]
-            plan.send_indexed(machine.machine_id, dsts, items)
+            participants.append((machine.machine_id, items))
+            payloads.append((items, splitters, key))
+    bucket_lists = cluster.run_local_steps("sort/bucket-object", payloads)
+    plan = cluster.plan(note=f"{note}/route")
+    for (mid, items), buckets in zip(participants, bucket_lists):
+        plan.send_indexed(mid, [machine_ids[b] for b in buckets], items)
     inboxes = cluster.execute(plan)
+    ranked = cluster.run_local_steps(
+        "sort/rank-object",
+        [(inboxes.get(m.machine_id, []), key) for m in smalls],
+    )
     counts = []
-    for machine in smalls:
-        bucket_items = sorted(inboxes.get(machine.machine_id, []), key=key)
+    for machine, bucket_items in zip(smalls, ranked):
         machine.put(name, bucket_items)
         counts.append(len(bucket_items))
 
@@ -369,74 +449,47 @@ def _sample_sort_columnar(
     splitters = _pick_splitters(sample_keys, k)
     broadcast(cluster, coordinator, tuple(splitters), machine_ids, note=f"{note}/splitters")
 
-    # Step 3: route.  Packed mode: one vectorized searchsorted against the
-    # packed splitters assigns every row its bucket, and rows travel in
-    # arrival order — exactly the object path's per-item ``bisect`` and
-    # stable grouping, so even tied partial keys land identically.
-    # Sorted mode (unpackable keys): one stable local sort, one boundary
-    # scan against the splitters, one zero-copy block per bucket.
-    use_engine_scatter = isinstance(cluster.engine_backend, NumpyEngineBackend)
-    mid_array = _np.array(machine_ids, dtype=_np.int64)
-    plan = cluster.plan(note=f"{note}/route")
+    # Step 3: route.  Each machine's partition is one shippable local
+    # step (``sort/partition-columnar``) that pre-groups its rows into
+    # per-bucket segments — ascending bucket, stable within a bucket —
+    # which is exactly the run set the engine backend's ``send_indexed``
+    # grouping would emit, so runs, words and inbox order are identical
+    # across executors and engine backends.  Packed mode assigns buckets
+    # in arrival order like the object path's per-item ``bisect``; sorted
+    # mode (unpackable keys) pre-sorts locally and slices at splitter
+    # boundaries.
+    participants: list[int] = []
+    payloads = []
     for machine in smalls:
         block = blocks.get(machine.machine_id)
         machine.pop(name, None)
         if block is None:
             continue
-        if packed:
-            packed_rows, packed_splitters = columnar.pack_columns(
-                [block.columns[f] for f in fields], splitters
-            )
-            buckets = _np.searchsorted(packed_splitters, packed_rows, side="right")
-            stacked = _np.column_stack(
-                [col.astype(transport, copy=False) for col in block.columns]
-            )
-            if use_engine_scatter:
-                # The numpy engine groups the scatter itself — one stable
-                # argsort, blocks stay arrays end to end.
-                plan.send_indexed(machine.machine_id, mid_array[buckets], stacked)
-            else:
-                # Pre-group so the pure engine never sees (and never
-                # flattens) an array scatter: identical runs either way.
-                order = _np.argsort(buckets, kind="stable")
-                sorted_buckets = buckets[order]
-                sorted_rows = stacked[order]
-                edges = _np.flatnonzero(sorted_buckets[1:] != sorted_buckets[:-1]) + 1
-                starts = [0, *edges.tolist(), len(sorted_buckets)]
-                for start, stop in zip(starts[:-1], starts[1:]):
-                    plan.send_batch(
-                        machine.machine_id,
-                        machine_ids[int(sorted_buckets[start])],
-                        sorted_rows[start:stop],
-                    )
-        else:
-            ordered = columnar.lexsort_block(block, fields)
-            stacked = _np.column_stack(
-                [col.astype(transport, copy=False) for col in ordered.columns]
-            )
-            bounds = columnar.bucket_bounds(ordered, fields, splitters)
-            starts = [0, *bounds]
-            stops = [*bounds, len(ordered)]
-            for bucket, (start, stop) in enumerate(zip(starts, stops)):
-                if stop > start:
-                    plan.send_batch(
-                        machine.machine_id, machine_ids[bucket], stacked[start:stop]
-                    )
+        participants.append(machine.machine_id)
+        payloads.append((block.columns, fields, splitters, packed, transport))
+    segment_lists = cluster.run_local_steps("sort/partition-columnar", payloads)
+    plan = cluster.plan(note=f"{note}/route")
+    for mid, segments in zip(participants, segment_lists):
+        for bucket, segment in segments:
+            plan.send_batch(mid, machine_ids[bucket], segment)
     inboxes = cluster.execute(plan)
-    counts = []
+    receivers: list[int] = []
+    payloads = []
     for machine in smalls:
         received = inboxes.get(machine.machine_id, [])
-        if not received:
+        if received:
+            receivers.append(machine.machine_id)
+            payloads.append((received, dtypes, fields))
+    ranked = dict(
+        zip(receivers, cluster.run_local_steps("sort/rank-columnar", payloads))
+    )
+    counts = []
+    for machine in smalls:
+        bucket_block = ranked.get(machine.machine_id)
+        if bucket_block is None:
             machine.put(name, [])
             counts.append(0)
             continue
-        merged = received[0] if len(received) == 1 else _np.concatenate(received)
-        columns = [
-            merged[:, j].astype(dtypes[j], copy=False) for j in range(len(dtypes))
-        ]
-        bucket_block = columnar.lexsort_block(
-            EdgeBlock(columns, merged.shape[0]), fields
-        )
         machine.put(name, bucket_block)
         counts.append(len(bucket_block))
 

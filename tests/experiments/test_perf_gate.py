@@ -177,7 +177,8 @@ def _halved(artifacts):
 
 def test_committed_baselines_self_check():
     baseline = load_perf_dir(PERF_DIR)
-    assert len(baseline) == 4
+    assert len(baseline) == 5
+    assert "executor_scaling" in baseline
     result = compare_perf(baseline, baseline)
     assert result.failures == []
     assert result.matched >= 20

@@ -127,6 +127,72 @@ def test_memory_high_water_is_recorded_after_rounds():
 
 
 # ----------------------------------------------------------------------
+# Gather / scatter / all_items edge cases
+# ----------------------------------------------------------------------
+def test_gather_with_all_empty_sources_charges_no_round():
+    cluster = make_cluster()
+    large = cluster.large.machine_id
+    got = cluster.gather(large, {0: [], 1: []}, note="g")
+    assert got == []
+    assert cluster.ledger.rounds == 0
+
+
+def test_gather_skips_empty_sources_in_accounting():
+    cluster = make_cluster()
+    large = cluster.large.machine_id
+    got = cluster.gather(large, {0: [], 1: [7], 2: []}, note="g")
+    assert got == [7]
+    record = cluster.ledger.records[-1]
+    assert record.total_words == 1
+    assert record.max_sent == 1
+
+
+def test_scatter_with_empty_destinations_charges_no_round():
+    cluster = make_cluster()
+    large = cluster.large.machine_id
+    assert cluster.scatter(large, {}) == {}
+    assert cluster.scatter(large, {0: [], 1: []}) == {}
+    assert cluster.ledger.rounds == 0
+
+
+def test_gather_works_without_a_large_machine():
+    config = ModelConfig.sublinear(n=64, m=256)
+    cluster = Cluster(config, rng=random.Random(0))
+    dst = cluster.small_ids[0]
+    got = cluster.gather(dst, {cluster.small_ids[1]: ["x"],
+                               cluster.small_ids[2]: ["y"]})
+    assert sorted(got) == ["x", "y"]
+    assert cluster.ledger.rounds == 1
+
+
+def test_scatter_works_without_a_large_machine():
+    config = ModelConfig.sublinear(n=64, m=256)
+    cluster = Cluster(config, rng=random.Random(0))
+    src = cluster.small_ids[0]
+    inboxes = cluster.scatter(src, {cluster.small_ids[1]: ["a"]})
+    assert inboxes[cluster.small_ids[1]] == ["a"]
+
+
+def test_all_items_of_unknown_dataset_is_empty():
+    cluster = make_cluster()
+    assert cluster.all_items("never-placed") == []
+
+
+def test_all_items_preserves_machine_order():
+    cluster = make_cluster()
+    cluster.smalls[0].put("d", [1, 2])
+    cluster.smalls[2].put("d", [3])
+    assert cluster.all_items("d") == [1, 2, 3]
+
+
+def test_map_small_on_empty_datasets_is_a_noop():
+    cluster = make_cluster()
+    cluster.map_small("missing", lambda machine, items: list(items))
+    assert cluster.all_items("missing") == []
+    assert cluster.ledger.rounds == 0
+
+
+# ----------------------------------------------------------------------
 # Memory honesty
 # ----------------------------------------------------------------------
 def test_strict_mode_raises_when_small_machine_exceeds_small_capacity():
