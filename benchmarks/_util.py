@@ -25,6 +25,7 @@ from typing import Any, Sequence
 from repro.analysis import render_table
 from repro.experiments import Runner, ScenarioRun, get_scenario
 from repro.experiments.artifacts import text_header
+from repro.env import env_flag
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -39,7 +40,7 @@ PERF_DIR = RESULTS_DIR / "perf"
 
 PERF_SCHEMA_VERSION = "repro.perf/1"
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 
 
 def publish(

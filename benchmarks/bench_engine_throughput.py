@@ -33,12 +33,13 @@ import time
 from repro.mpc import Cluster, ModelConfig, RoundPlan, get_engine_backend
 from repro.mpc.backend import HAS_NUMPY
 from repro.mpc.words import word_size
+from repro.env import env_flag
 
 from _util import publish, publish_perf
 
 # The CI smoke job shrinks the workload and skips persisting the table.
 ITEMS = int(os.environ.get("REPRO_BENCH_ITEMS", "100000"))
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 REPEATS = 3
 
 

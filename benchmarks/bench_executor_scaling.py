@@ -30,13 +30,14 @@ import time
 from repro.experiments import Runner, get_scenario
 from repro.mpc.cluster import Cluster
 from repro.mpc.config import ModelConfig
-from repro.mpc.executor import forced_executor
+from repro.mpc.executor import forced_executor, shutdown_pools
 from repro.primitives.columnar import EdgeBlock, ingest_rows
 from repro.primitives.sort import sample_sort
+from repro.env import env_flag
 
 from _util import publish, publish_perf
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 ITEMS = int(
     os.environ.get("REPRO_BENCH_EXECUTOR_ITEMS", "4000" if SMOKE else "100000")
 )
@@ -138,6 +139,7 @@ def run_scaling():
             "items_per_sec": round(edges / elapsed),
             "speedup": round(huge_serial / elapsed, 2),
         })
+    shutdown_pools()  # bench epilogue: don't leave pools to atexit
     return rows
 
 

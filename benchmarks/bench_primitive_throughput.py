@@ -47,10 +47,11 @@ from repro.primitives.disseminate import disseminate
 from repro.primitives.edgestore import EdgeStore
 from repro.primitives.join import annotate_edges_with_vertex_values
 from repro.primitives.sort import sample_sort
+from repro.env import env_flag
 
 from _util import publish, publish_perf
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 ITEMS = int(
     os.environ.get("REPRO_BENCH_PRIMITIVE_ITEMS", "2000" if SMOKE else "100000")
 )

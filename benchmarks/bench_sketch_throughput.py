@@ -32,12 +32,13 @@ import time
 from repro.sketches import GraphSketchSpec, SketchBank
 from repro.sketches.backend import HAS_NUMPY
 from repro.sketches.field import PRIME, trailing_zeros
+from repro.env import env_flag
 
 from _util import publish, publish_perf
 
 EDGES = int(os.environ.get("REPRO_BENCH_SKETCH_EDGES", "100000"))
 N = int(os.environ.get("REPRO_BENCH_SKETCH_N", "2048"))
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 
 
 # ----------------------------------------------------------------------

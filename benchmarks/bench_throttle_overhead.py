@@ -23,11 +23,12 @@ import time
 
 from repro.mpc import Cluster, ModelConfig, RoundPlan, get_engine_backend
 from repro.mpc.backend import HAS_NUMPY
+from repro.env import env_flag
 
 from _util import publish, publish_perf
 
 ITEMS = int(os.environ.get("REPRO_BENCH_ITEMS", "100000"))
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SMOKE = env_flag("REPRO_BENCH_SMOKE")
 REPEATS = 5
 OVERHEAD_BAR = 0.05
 

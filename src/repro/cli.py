@@ -16,6 +16,7 @@ Examples::
     python -m repro bench --list                        # scenario registry
     python -m repro bench all --quick --json            # smoke all scenarios
     python -m repro bench all --json --jobs 4           # process-pool sweep
+    python -m repro serve --n 64 --seed 7               # dynamic-graph daemon
     python -m repro report --check                      # docs/REPRODUCTION.md
     python -m repro costmodel --check                   # docs/COST_MODEL.md
 """
@@ -23,11 +24,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import os
 import random
 import sys
 
 from .analysis import render_table
+from .env import env_flag
 from .baselines import sublinear_boruvka_mst, sublinear_connectivity
 from .core import (
     approximate_weighted_mincut,
@@ -141,6 +142,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "capacity violations in its artifact totals")
 
     p = sub.add_parser(
+        "serve",
+        help="dynamic-graph query daemon (JSONL over stdio or TCP)",
+    )
+    p.add_argument("--n", type=int, default=None,
+                   help="pre-initialize the service with N vertices "
+                        "(otherwise the first client sends an 'init' op)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sketch seed; answers replay a from-scratch "
+                        "sketch_components run with the same seed")
+    p.add_argument("--copies", type=int, default=3,
+                   help="l0-sampler copies per phase")
+    p.add_argument("--shards", type=int, default=4,
+                   help="sketch bank shards (edge id mod shards)")
+    p.add_argument("--backend", default=None,
+                   help="sketch backend (pure/numpy/auto; default from "
+                        "REPRO_SKETCH_BACKEND)")
+    p.add_argument("--max-weight", type=int, default=None, dest="max_weight",
+                   help="enable approximate-MST-weight queries for weights "
+                        "in [1, MAX_WEIGHT]")
+    p.add_argument("--epsilon", type=float, default=0.5,
+                   help="MST-weight approximation parameter")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve over TCP instead of stdio (port 0 picks an "
+                        "ephemeral port, announced on stdout)")
+
+    p = sub.add_parser(
         "report",
         help="regenerate docs/REPRODUCTION.md from the JSON artifacts",
     )
@@ -201,7 +228,7 @@ def _bench_command(args) -> int:
         print("bench: name scenarios to run, or 'all' (see --list)",
               file=sys.stderr)
         return 2
-    quick = args.quick or os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    quick = args.quick or env_flag("REPRO_BENCH_SMOKE")
     if args.scenarios == ["all"]:
         selected = experiments.all_scenarios()
     else:
@@ -222,13 +249,20 @@ def _bench_command(args) -> int:
         )
     else:
         runner = experiments.Runner(results_dir=results_dir, seed=args.seed)
-    with _maybe_forced_executor(args):
-        runs = runner.run_many(
-            selected,
-            quick=quick,
-            json_artifact=args.json_artifacts,
-            echo=lambda run: print(run.render_text()),
-        )
+    try:
+        with _maybe_forced_executor(args):
+            runs = runner.run_many(
+                selected,
+                quick=quick,
+                json_artifact=args.json_artifacts,
+                echo=lambda run: print(run.render_text()),
+            )
+    finally:
+        # Bench epilogue: reap any executor worker pools the run spun up
+        # rather than leaving them to the atexit hook.
+        from .mpc.executor import shutdown_pools
+
+        shutdown_pools()
     if args.scenarios == ["all"] and args.json_artifacts:
         # The cross-scenario roll-up only makes sense (and is only safe to
         # overwrite) when the whole registry ran.
@@ -293,6 +327,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return _bench_command(args)
+    if args.command == "serve":
+        from .serve.daemon import run_daemon
+
+        return run_daemon(args)
     if args.command == "report":
         return _report_command(args)
     if args.command == "costmodel":

@@ -41,10 +41,14 @@ _REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_BASELINE_DIR = _REPO_ROOT / "benchmarks" / "results" / "perf"
 
 #: Gated throughput metrics (higher is better).
-METRIC_KEYS = frozenset({"items_per_sec", "edges_per_sec"})
+METRIC_KEYS = frozenset({
+    "items_per_sec", "edges_per_sec", "updates_per_sec", "queries_per_sec",
+})
 #: Derived ratios recomputed every run; excluded from both row identity
 #: and gating (a speedup shift is already visible in the raw metrics).
-DERIVED_KEYS = frozenset({"speedup", "overhead_pct"})
+#: ``refresh_sec`` is lower-is-better wall time, so it cannot ride the
+#: throughput comparator; it stays informational.
+DERIVED_KEYS = frozenset({"speedup", "overhead_pct", "refresh_sec"})
 
 #: Fail on a >30% throughput drop by default.
 DEFAULT_TOLERANCE = 0.30

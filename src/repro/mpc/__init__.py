@@ -94,6 +94,7 @@ from .executor import (
     forced_executor,
     get_executor,
     local_step,
+    shutdown_pools,
 )
 from .ledger import NoteStats, RoundLedger, RoundRecord, Violation
 from .machine import LARGE, SMALL, Machine
@@ -142,4 +143,5 @@ __all__ = [
     "forced_executor",
     "get_executor",
     "local_step",
+    "shutdown_pools",
 ]

@@ -27,8 +27,8 @@ optional extra as the sketch substrate (``pip install .[fast]``).
 
 from __future__ import annotations
 
-import os
 from typing import Any, Sequence
+from ..env import env_name
 
 try:  # optional accelerator — the pure backend is always available
     import numpy as _np
@@ -142,7 +142,7 @@ def get_engine_backend(
     ``REPRO_ENGINE_BACKEND`` and falls back to the pure-Python default.
     """
     if backend is None:
-        backend = os.environ.get(_ENV_VAR, "pure")
+        backend = env_name(_ENV_VAR, "pure")
     if isinstance(backend, (PureEngineBackend, NumpyEngineBackend)):
         return backend
     name = str(backend).lower()

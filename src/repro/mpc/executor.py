@@ -54,12 +54,15 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterator, Sequence
 
+from ..env import env_int, env_name
+
 __all__ = [
     "LocalStep",
     "local_step",
     "resolve_step",
     "SerialExecutor",
     "ProcessExecutor",
+    "shutdown_pools",
     "get_executor",
     "available_executors",
     "forced_executor",
@@ -206,13 +209,26 @@ def _shared_pool(workers: int) -> ProcessPoolExecutor | None:
     return pool
 
 
-def _shutdown_pools() -> None:
+def shutdown_pools(wait: bool = False) -> None:
+    """Reap every shared worker pool now (idempotent).
+
+    The pools are process-lifetime caches: without this call they are
+    only torn down by the ``atexit`` hook, which is fine for a benchmark
+    run but leaks worker processes across reconfigurations of a
+    long-lived daemon.  ``repro serve`` teardown and the benchmark
+    epilogues call this explicitly; the next :class:`ProcessExecutor`
+    dispatch after a shutdown builds a fresh pool, so shutting down
+    eagerly is always safe.  Also resets the pool-unavailable latch, so
+    a sandbox that temporarily failed pool creation gets retried.
+    """
+    global _POOL_UNAVAILABLE
     for pool in _POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
+        pool.shutdown(wait=wait, cancel_futures=True)
     _POOLS.clear()
+    _POOL_UNAVAILABLE = False
 
 
-atexit.register(_shutdown_pools)
+atexit.register(shutdown_pools)
 
 
 class ProcessExecutor:
@@ -293,9 +309,9 @@ def get_executor(
             if workers <= 0:
                 workers = forced_workers
         else:
-            spec = os.environ.get(_ENV_VAR, "serial")
+            spec = env_name(_ENV_VAR, "serial")
     if workers <= 0:
-        workers = int(os.environ.get(_ENV_WORKERS, "0") or 0)
+        workers = env_int(_ENV_WORKERS, 0)
     name = str(spec).lower()
     if name == "serial":
         return SerialExecutor()

@@ -43,11 +43,11 @@ seams:
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from itertools import chain
 from operator import itemgetter
 from typing import Any, Callable, Iterator, Sequence
+from ..env import env_name
 
 try:  # optional accelerator — the object path is always available
     import numpy as _np
@@ -94,7 +94,7 @@ def primitive_path() -> str:
     """
     if _FORCED is not None:
         return _FORCED
-    path = os.environ.get(_ENV_VAR, "columnar").lower()
+    path = env_name(_ENV_VAR, "columnar")
     if path not in ("columnar", "object"):
         raise ValueError(
             f"unknown primitive path {path!r} (expected 'columnar' or 'object')"

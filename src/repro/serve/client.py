@@ -1,0 +1,134 @@
+"""Client for the serve daemon: spawn a stdio daemon or dial TCP.
+
+``ServeClient.spawn()`` launches ``python -m repro serve`` as a child
+process and talks JSONL over its pipes; ``ServeClient.connect()`` dials
+a running ``--listen`` daemon.  Either way, :meth:`call` raises
+:class:`ServeRemoteError` on an error response and returns the
+``result`` payload otherwise, and the convenience wrappers mirror the
+ops one-to-one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+from typing import IO, Sequence
+
+__all__ = ["ServeClient", "ServeRemoteError"]
+
+
+class ServeRemoteError(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+
+class ServeClient:
+    def __init__(self, reader: IO[str], writer: IO[str], *,
+                 proc: subprocess.Popen | None = None,
+                 sock: socket.socket | None = None) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._proc = proc
+        self._sock = sock
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def spawn(cls, args: Sequence[str] = (), *,
+              python: str = sys.executable,
+              env: dict | None = None) -> "ServeClient":
+        """Start ``python -m repro serve <args>`` and attach to its pipes."""
+        proc = subprocess.Popen(
+            [python, "-m", "repro", "serve", *args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, **(env or {})},
+        )
+        return cls(proc.stdout, proc.stdin, proc=proc)
+
+    @classmethod
+    def connect(cls, host: str, port: int) -> "ServeClient":
+        sock = socket.create_connection((host, port))
+        stream = sock.makefile("rw", encoding="utf-8")
+        return cls(stream, stream, sock=sock)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one op and block for its response (full envelope)."""
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        self._writer.write(json.dumps(payload) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ServeRemoteError(f"daemon closed the stream during {op!r}")
+        response = json.loads(line)
+        if response.get("id") not in (None, self._next_id):
+            raise ServeRemoteError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        return response
+
+    def call(self, op: str, **fields):
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            raise ServeRemoteError(response.get("error", "unknown error"))
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # convenience ops
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def init(self, n: int, **fields) -> dict:
+        return self.call("init", n=n, **fields)
+
+    def update(self, insert: Sequence = (), delete: Sequence = ()) -> dict:
+        return self.call(
+            "update", insert=[list(e) for e in insert],
+            delete=[list(e) for e in delete],
+        )
+
+    def connected(self, u: int, v: int) -> bool:
+        return self.call("connected", u=u, v=v)["connected"]
+
+    def components(self, labels: bool = False) -> dict:
+        return self.call("components", labels=labels)
+
+    def mst_weight(self) -> dict:
+        return self.call("mst_weight")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def shutdown(self) -> dict:
+        result = self.call("shutdown")
+        self.close()
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except (OSError, ValueError):
+                pass
+        if self._sock is not None:
+            self._sock.close()
+        if self._proc is not None:
+            self._proc.wait(timeout=30)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -27,11 +27,11 @@ across banks built from the same seed package to share its tables.  The
 
 from __future__ import annotations
 
-import os
 from math import isqrt
 from typing import Iterable, Sequence
 
 from .field import PRIME
+from ..env import env_name
 
 try:  # optional accelerator — the pure backend is always available
     import numpy as _np
@@ -292,7 +292,7 @@ def get_backend(backend: object = None) -> PureBackend | NumpyBackend:
     pure-Python default.
     """
     if backend is None:
-        backend = os.environ.get(_ENV_VAR, "pure")
+        backend = env_name(_ENV_VAR, "pure")
     if isinstance(backend, (PureBackend, NumpyBackend)):
         return backend
     name = str(backend).lower()

@@ -25,6 +25,14 @@ endpoint) and once per object layer.  All heavy arithmetic goes through
 the backend seam of :mod:`repro.sketches.backend`, so the same bank runs
 on pure-Python or numpy kernels with bit-identical results.
 
+Updates are *signed*: because the sketches are linear maps of the edge
+multiset, ``update_edges(batch, sign=-1)`` deletes edges by applying the
+identical contributions negated — the substrate behind the dynamic-graph
+query service in :mod:`repro.serve`.  Self-loops are short-circuited to
+no-ops (an edge ``{u, u}`` contributes ``+1`` as the smaller endpoint and
+``-1`` as the larger to the *same* row, which cancels), so the streaming
+path never spends hash evaluations on them.
+
 Merging supernode rows, copying banks, and zero tests are bulk slice
 operations; :func:`bank_boruvka` runs Borůvka in sketch space directly on
 a bank, mirroring the legacy object loop decision for decision so that
@@ -158,7 +166,7 @@ class SketchBank:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def update_edges(self, edges: Iterable[tuple]) -> None:
+    def update_edges(self, edges: Iterable[tuple], sign: int = 1) -> None:
         """Bulk-apply undirected edges to both endpoint rows.
 
         Edge ``{u, v}`` (id ``min*n + max``) contributes ``+1`` to the
@@ -166,23 +174,33 @@ class SketchBank:
         evaluations, level depths, and fingerprint powers are computed
         once per edge and shared by both endpoints; see the module
         docstring for the batching scheme.
+
+        *sign* applies the whole batch with ``+1`` (insert, the default)
+        or ``-1`` (delete): sketches are linear, so deleting an edge is
+        applying its contribution negated, and an insert followed by a
+        delete of the same edge returns every counter to its prior value
+        exactly.  The default path runs the identical insert-only
+        arithmetic as before the signed extension.
+
+        Self-loops are no-ops on the counters: a loop's ``+1``
+        (as the smaller endpoint) and ``-1`` (as the larger) land on the
+        same row and cancel, so they are short-circuited before any hash
+        is evaluated — the vertex still gets a (zero) row.
         """
+        if sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {sign!r}")
         n = self.spec.n
         pairs: list[tuple[int, int, int]] = []
-        loops: list[tuple[int, int]] = []
         for edge in edges:
             u, v = edge[0], edge[1]
             ru = self.add_vertex(u)
             rv = self.add_vertex(v)
             if u == v:
-                loops.append((u, v))
+                continue  # loop contributions provably cancel
             elif u < v:
                 pairs.append((ru, rv, u * n + v))
             else:
                 pairs.append((rv, ru, v * n + u))
-        for u, v in loops:  # rare; mirrors the object API's semantics
-            self.add_incident(u, u, v)
-            self.add_incident(v, u, v)
         if not pairs:
             return
 
@@ -214,29 +232,48 @@ class SketchBank:
                     z_points[level], ids_sel, max_exponent=max_id
                 )
                 slot = base + level
-                for k, i, f in zip(sel, ids_sel, powers):
-                    a = urows[k] + slot
-                    s0[a] += 1
-                    s1[a] += i
-                    s2[a] = (s2[a] + f) % PRIME
-                    a = vrows[k] + slot
-                    s0[a] -= 1
-                    s1[a] -= i
-                    s2[a] = (s2[a] - f) % PRIME
+                if sign == 1:
+                    for k, i, f in zip(sel, ids_sel, powers):
+                        a = urows[k] + slot
+                        s0[a] += 1
+                        s1[a] += i
+                        s2[a] = (s2[a] + f) % PRIME
+                        a = vrows[k] + slot
+                        s0[a] -= 1
+                        s1[a] -= i
+                        s2[a] = (s2[a] - f) % PRIME
+                else:
+                    # The mirror image: delete = insert with every
+                    # contribution negated (linearity).
+                    for k, i, f in zip(sel, ids_sel, powers):
+                        a = urows[k] + slot
+                        s0[a] -= 1
+                        s1[a] -= i
+                        s2[a] = (s2[a] - f) % PRIME
+                        a = vrows[k] + slot
+                        s0[a] += 1
+                        s1[a] += i
+                        s2[a] = (s2[a] + f) % PRIME
 
-    def add_incident(self, vertex: int, u: int, v: int) -> None:
+    def add_incident(self, vertex: int, u: int, v: int, sign: int = 1) -> None:
         """Account for incident edge ``{u, v}`` in *vertex*'s row only.
 
         The single-edge path behind the legacy ``VertexSketch.add_edge``;
         fingerprint powers come from the shared cache, so the second
-        endpoint of an edge never redoes the exponentiation.
+        endpoint of an edge never redoes the exponentiation.  *sign* is
+        ``+1`` (insert) or ``-1`` (delete); self-loops are no-ops (their
+        endpoint contributions cancel), matching :meth:`update_edges`.
         """
         if vertex not in (u, v):
             raise ValueError("edge not incident to this vertex")
+        if sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {sign!r}")
         row = self.add_vertex(vertex)
+        if u == v:
+            return
         lo, hi = (u, v) if u <= v else (v, u)
         identifier = lo * self.spec.n + hi
-        sign = 1 if vertex == lo else -1
+        sign = sign if vertex == lo else -sign
         levels = self.num_levels
         x = identifier + 1
         s0, s1, s2 = self.s0, self.s1, self.s2

@@ -32,6 +32,7 @@ def test_every_migrated_bench_script_has_a_scenario():
         "bench_engine_throughput",
         "bench_executor_scaling",
         "bench_primitive_throughput",
+        "bench_serve_throughput",
         "bench_sketch_throughput",
         "bench_throttle_overhead",
     }

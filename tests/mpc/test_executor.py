@@ -224,9 +224,47 @@ def test_single_payload_runs_inline():
 
 
 def test_pool_shutdown_is_idempotent():
-    executor_mod._shutdown_pools()
-    executor_mod._shutdown_pools()
+    executor_mod.shutdown_pools()
+    executor_mod.shutdown_pools()
     assert executor_mod._POOLS == {}
+
+
+def test_fresh_pool_after_shutdown():
+    """A long-lived daemon must be able to reconfigure: after an explicit
+    shutdown_pools(), the next process dispatch builds a fresh pool
+    instead of reusing (or tripping over) the reaped one."""
+    np = pytest.importorskip("numpy")
+    executor = ProcessExecutor(workers=2)
+    payloads = [
+        (np.array([2, 1]), np.array([10, 20])),
+        (np.array([3]), np.array([40])),
+    ]
+
+    def run():
+        return [
+            (k.tolist(), v.tolist())
+            for k, v in executor.map_steps(
+                "aggregate/reduce-pairs", [(k, v, "sum") for k, v in payloads]
+            )
+        ]
+
+    first = run()
+    first_pool = executor_mod._POOLS.get(2)
+    assert first_pool is not None
+    executor_mod.shutdown_pools()
+    assert executor_mod._POOLS == {}
+    second = run()
+    second_pool = executor_mod._POOLS.get(2)
+    assert second_pool is not None and second_pool is not first_pool
+    assert first == second == [([2, 1], [10, 20]), ([3], [40])]
+    executor_mod.shutdown_pools()
+
+
+def test_shutdown_pools_resets_unavailable_latch(monkeypatch):
+    monkeypatch.setattr(executor_mod, "_POOL_UNAVAILABLE", True)
+    assert executor_mod._shared_pool(2) is None
+    executor_mod.shutdown_pools()
+    assert executor_mod._POOL_UNAVAILABLE is False
 
 
 # ----------------------------------------------------------------------

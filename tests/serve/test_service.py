@@ -1,0 +1,231 @@
+"""GraphService: incremental state, validation, and differential replay.
+
+The replay tests are the correctness contract of the whole serve stack:
+after *any* prefix of signed update batches, the service's canonical
+component labels must equal a from-scratch
+:func:`repro.core.connectivity.sketch_components` run (same seed) on the
+surviving edge multiset — under both sketch backends.  Likewise the
+MST-weight estimate must exactly replay
+:func:`repro.core.mst_approx.approximate_mst_weight`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.connectivity import sketch_components
+from repro.core.mst_approx import approximate_mst_weight
+from repro.graph.graph import Graph
+from repro.mpc import Cluster, ModelConfig
+from repro.primitives.edgestore import EdgeStore
+from repro.serve import GraphService, ServeConfig, ServiceError
+from repro.sketches import available_backends
+
+BACKENDS = available_backends()
+
+
+def scratch_labels(n: int, seed: int, edges, copies: int = 3,
+                   backend: str | None = None) -> list[int]:
+    """From-scratch Theorem C.1 run on *edges* — the replay reference."""
+    cluster = Cluster(
+        ModelConfig.heterogeneous(n=n, m=max(4, len(edges))),
+        rng=random.Random(987),
+    )
+    store = EdgeStore.create(cluster, list(edges), name="replay")
+    return sketch_components(
+        cluster, store, n, random.Random(seed), copies=copies, backend=backend
+    )
+
+
+def random_batches(n, rng, batches=4, per_batch=12):
+    """A stream of insert/delete batches; deletes target live edges."""
+    live: list[tuple[int, int]] = []
+    stream = []
+    for _ in range(batches):
+        inserts = []
+        for _ in range(per_batch):
+            u, v = rng.randrange(n), rng.randrange(n)
+            inserts.append((u, v))
+            if u != v:
+                live.append((min(u, v), max(u, v)))
+        deletes = []
+        for _ in range(min(len(live), per_batch // 2)):
+            deletes.append(live.pop(rng.randrange(len(live))))
+        stream.append((inserts, deletes))
+    return stream
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_differential_replay_after_every_prefix(backend):
+    n, seed = 20, 11
+    service = GraphService(
+        ServeConfig(n=n, seed=seed, shards=3, backend=backend)
+    )
+    for inserts, deletes in random_batches(n, random.Random(4)):
+        service.update(insert=inserts, delete=deletes)
+        surviving = [(u, v) for u, v, _ in service.surviving_edges()]
+        reference = scratch_labels(n, seed, surviving, backend=backend)
+        assert service.components().labels == reference
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_replay_holds_with_multi_edges_and_loops(backend):
+    n, seed = 12, 3
+    service = GraphService(ServeConfig(n=n, seed=seed, backend=backend))
+    # Parallel edges and self-loops stream through like anything else.
+    service.update(insert=[(0, 1), (0, 1), (1, 0), (5, 5), (2, 7)])
+    service.update(delete=[(0, 1)])
+    surviving = [(u, v) for u, v, _ in service.surviving_edges()]
+    assert surviving == [(0, 1), (0, 1), (2, 7), (5, 5)]
+    assert service.components().labels == scratch_labels(
+        n, seed, surviving, backend=backend
+    )
+    # Deleting the remaining multiplicity disconnects 0 and 1.
+    service.update(delete=[(0, 1), (1, 0)])
+    assert not service.connected(0, 1)
+    assert service.components().labels == scratch_labels(
+        n, seed, [(2, 7), (5, 5)], backend=backend
+    )
+
+
+def test_backends_answer_identically():
+    if len(BACKENDS) < 2:
+        pytest.skip("only one sketch backend available")
+    n, seed = 18, 9
+    services = [
+        GraphService(ServeConfig(n=n, seed=seed, backend=b)) for b in BACKENDS
+    ]
+    for inserts, deletes in random_batches(n, random.Random(8), batches=3):
+        views = []
+        for service in services:
+            service.update(insert=inserts, delete=deletes)
+            views.append(service.components())
+        assert all(v.labels == views[0].labels for v in views[1:])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mst_weight_replays_from_scratch_run(backend):
+    n, seed, max_weight = 14, 6, 9
+    rng = random.Random(1)
+    edges, seen = [], set()
+    while len(edges) < 20:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or (min(u, v), max(u, v)) in seen:
+            continue
+        seen.add((min(u, v), max(u, v)))
+        edges.append((min(u, v), max(u, v), rng.randrange(1, max_weight + 1)))
+    edges[0] = (edges[0][0], edges[0][1], max_weight)
+
+    service = GraphService(
+        ServeConfig(n=n, seed=seed, max_weight=max_weight, backend=backend)
+    )
+    churn = [edges[3][0], edges[3][1], 2]
+    service.update(insert=[list(e) for e in edges] + [churn])
+    service.update(delete=[churn])
+    got = service.mst_weight()
+
+    reference = approximate_mst_weight(
+        Graph(n=n, edges=tuple(edges), weighted=True),
+        epsilon=0.5,
+        rng=random.Random(seed),
+        copies=3,
+        backend=backend,
+    )
+    assert got["estimate"] == reference.estimate
+    assert got["thresholds"] == reference.thresholds
+    assert got["component_counts"] == [
+        reference.component_counts[t] for t in reference.thresholds
+    ]
+
+
+def test_refresh_is_lazy_and_cached():
+    service = GraphService(ServeConfig(n=8, seed=0))
+    service.update(insert=[(0, 1), (1, 2)])
+    assert service.refreshes == 0
+    service.connected(0, 2)
+    service.connected(1, 2)
+    service.components()
+    assert service.refreshes == 1  # one rebuild served all three queries
+    service.update(insert=[(3, 4)])
+    service.connected(3, 4)
+    assert service.refreshes == 2
+
+
+def test_update_batch_is_atomic_on_bad_delete():
+    service = GraphService(ServeConfig(n=8, seed=0))
+    service.update(insert=[(0, 1)])
+    before = service.components().labels
+    with pytest.raises(ServiceError, match="surviving"):
+        service.update(insert=[(2, 3)], delete=[(4, 5)])
+    # The rejected batch moved nothing — not even its inserts.
+    assert service.surviving_edges() == [(0, 1, 1)]
+    assert service.components().labels == before
+
+
+def test_delete_must_match_weight():
+    service = GraphService(ServeConfig(n=8, seed=0, max_weight=10))
+    service.update(insert=[(0, 1, 5)])
+    with pytest.raises(ServiceError, match="surviving"):
+        service.update(delete=[(0, 1, 4)])
+
+
+def test_validation_errors():
+    service = GraphService(ServeConfig(n=8, seed=0))
+    with pytest.raises(ServiceError, match="universe"):
+        service.update(insert=[(0, 8)])
+    with pytest.raises(ServiceError, match="weight"):
+        service.update(insert=[(0, 1, 0)])
+    with pytest.raises(ServiceError, match="u, v"):
+        service.update(insert=[(0, 1, 2, 3)])
+    with pytest.raises(ServiceError, match="universe"):
+        service.connected(0, 99)
+    with pytest.raises(ServiceError, match="max_weight"):
+        service.mst_weight()
+    with pytest.raises(ServiceError, match="exceeds"):
+        GraphService(ServeConfig(n=8, seed=0, max_weight=5)).update(
+            insert=[(0, 1, 6)]
+        )
+
+
+def test_config_validation():
+    for bad in (
+        dict(n=0),
+        dict(n=4, copies=0),
+        dict(n=4, shards=0),
+        dict(n=4, max_weight=0),
+        dict(n=4, epsilon=0.0),
+    ):
+        with pytest.raises(ServiceError):
+            ServeConfig(**bad)
+
+
+def test_insert_delete_churn_returns_to_empty_state():
+    n, seed = 10, 2
+    service = GraphService(ServeConfig(n=n, seed=seed, shards=2))
+    edges = [(0, 1), (1, 2), (2, 3), (4, 5)]
+    service.update(insert=edges)
+    service.update(delete=edges)
+    view = service.components()
+    assert view.num_components == n
+    assert view.labels == list(range(n))
+    # All shard counters returned to exact zero by linearity.
+    for shard in service._shards:
+        for vertex in shard.vertices:
+            assert shard.is_zero_vertex(vertex)
+
+
+def test_stats_shape():
+    service = GraphService(ServeConfig(n=8, seed=0, shards=2))
+    service.update(insert=[(0, 1)])
+    service.connected(0, 1)
+    stats = service.stats()
+    assert stats["edges"] == 1
+    assert stats["updates_applied"] == 1
+    assert stats["queries_answered"] == 1
+    assert stats["refreshes"] == 1
+    assert stats["shards"] == 2
+    assert stats["forest_fresh"] is True
+    assert stats["mst_enabled"] is False
+    assert stats["sketch_words"] > 0
